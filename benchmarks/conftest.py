@@ -1,0 +1,20 @@
+"""Benchmark fixtures: isolated device per benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import Device, use_device
+
+
+@pytest.fixture(autouse=True)
+def fresh_device():
+    device = Device(name="bench")
+    with use_device(device):
+        yield device
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,45 @@
+"""Ablation: Algorithm 2's snapshot cache (lines 1-5 / 10).
+
+Without the cache, moving from one training sequence to the next replays
+every update of the previous sequence; with it, one restore + one batch.
+"""
+
+import pytest
+
+from repro.dataset import load_sx_mathoverflow
+from repro.device import Device, use_device
+from repro.tensor import init
+from repro.train import STGraphLinkPredictor, STGraphTrainer, make_link_prediction_samples
+
+
+def _run(enable_cache: bool):
+    device = Device(name="cache-ablation")
+    with use_device(device):
+        ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=12)
+        samples = make_link_prediction_samples(ds.dtdg, 64, seed=0)
+        graph = ds.build_gpma(enable_cache=enable_cache)
+        init.set_seed(0)
+        model = STGraphLinkPredictor(8, 8)
+        trainer = STGraphTrainer(
+            model, graph, lr=1e-2, sequence_length=4,
+            task="link_prediction", link_samples=samples,
+        )
+        losses = trainer.train(ds.features, epochs=3, warmup=1)
+        return graph.update_batches_applied, graph.cache_restores, losses
+
+
+def test_snapshot_cache_reduces_update_batches(benchmark):
+    def run_both():
+        return _run(True), _run(False)
+
+    (with_cache, without_cache) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    batches_on, restores_on, losses_on = with_cache
+    batches_off, restores_off, losses_off = without_cache
+    print(
+        f"\nupdate batches over 3 epochs: cached={batches_on} "
+        f"(restores={restores_on})  uncached={batches_off}"
+    )
+    assert restores_on > 0 and restores_off == 0
+    assert batches_on < batches_off
+    # identical training outcome either way
+    assert losses_on == pytest.approx(losses_off, rel=1e-5)

@@ -1,0 +1,27 @@
+"""Figure 5: per-epoch time vs feature size, static-temporal, TGCN.
+
+Expected shape (paper §VII-A): STGraph at or below PyG-T across feature
+sizes, with the gap largest on dense graphs (WO, PM) and negligible on very
+sparse ones (MB, WVM).
+"""
+
+from repro.bench.experiments import fig5_static_time
+from repro.dataset import STATIC_DATASETS
+
+_DATASETS = {k: STATIC_DATASETS[k] for k in ("WO", "HC", "PM")}
+
+
+def test_fig5(benchmark):
+    results, text = benchmark.pedantic(
+        fig5_static_time,
+        kwargs=dict(feature_sizes=(8, 32), datasets=_DATASETS, num_timestamps=10),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    # shape assertion on the dense dataset: STGraph wins at every F
+    wo = [r for r in results if "Windmill" in r.dataset]
+    for fs in (8, 32):
+        stg = next(r for r in wo if r.system == "stgraph" and r.params["F"] == fs)
+        pyg = next(r for r in wo if r.system == "pygt" and r.params["F"] == fs)
+        assert stg.per_epoch_seconds < pyg.per_epoch_seconds
+        assert abs(stg.final_loss - pyg.final_loss) < 1e-2 * max(1.0, abs(pyg.final_loss))

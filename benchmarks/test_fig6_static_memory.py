@@ -1,0 +1,32 @@
+"""Figure 6: memory vs sequence length, static-temporal, feature size 8.
+
+Expected shape: the PyG-T curve is much steeper (per-edge duplicates
+retained over the whole sequence); dense graphs show the largest gap.
+"""
+
+from repro.bench.experiments import fig6_static_memory
+from repro.dataset import STATIC_DATASETS
+
+_DATASETS = {k: STATIC_DATASETS[k] for k in ("WO", "MB")}
+
+
+def test_fig6(benchmark):
+    results, text = benchmark.pedantic(
+        fig6_static_memory,
+        kwargs=dict(sequence_lengths=(4, 12), datasets=_DATASETS, num_timestamps=12),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    wo = [r for r in results if "Windmill" in r.dataset]
+
+    def mem(system, seq):
+        return next(
+            r for r in wo if r.system == system and r.params["seq"] == seq
+        ).peak_memory_bytes
+
+    slope_stg = mem("stgraph", 12) - mem("stgraph", 4)
+    slope_pyg = mem("pygt", 12) - mem("pygt", 4)
+    assert slope_pyg > 3 * max(slope_stg, 1)
+    # dense graph: STGraph consumes less at every sequence length
+    for seq in (4, 12):
+        assert mem("stgraph", seq) < mem("pygt", seq)

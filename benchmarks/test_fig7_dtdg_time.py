@@ -1,0 +1,35 @@
+"""Figure 7: per-epoch time vs feature size, DTDG, 5% change.
+
+Expected shape: STGraph-Naive fastest throughout; STGraph-GPMA slower than
+PyG-T at small feature sizes but crossing over as GNN processing grows to
+dominate graph-update time; crossover earlier on denser graphs.
+"""
+
+from repro.bench.experiments import fig7_dtdg_time
+from repro.dataset import DYNAMIC_DATASETS
+
+_DATASETS = {"sx-mathoverflow": DYNAMIC_DATASETS["sx-mathoverflow"]}
+
+
+def test_fig7(benchmark):
+    results, text = benchmark.pedantic(
+        fig7_dtdg_time,
+        kwargs=dict(feature_sizes=(8, 64), datasets=_DATASETS, scale=0.05),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+
+    def t(system, fs):
+        return next(
+            r for r in results if r.system == system and r.params["F"] == fs
+        ).per_epoch_seconds
+
+    # Naive fastest at every feature size
+    for fs in (8, 64):
+        assert t("naive", fs) < t("pygt", fs)
+        assert t("naive", fs) < t("gpma", fs)
+    # GPMA crossover: behind (or close) at F=8, ahead at F=64
+    assert t("gpma", 64) < t("pygt", 64)
+    # losses agree across systems
+    losses = [r.final_loss for r in results if r.params["F"] == 8]
+    assert max(losses) - min(losses) < 1e-3 * max(1.0, abs(losses[0]))

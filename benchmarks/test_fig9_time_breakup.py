@@ -1,0 +1,28 @@
+"""Figure 9: % split of total time into GNN processing vs graph updates.
+
+Expected shape: the graph-update share of STGraph-GPMA's time decreases
+significantly as feature size grows.
+"""
+
+from repro.bench.experiments import fig9_time_breakup
+from repro.dataset import DYNAMIC_DATASETS
+
+_DATASETS = {
+    "sx-mathoverflow": DYNAMIC_DATASETS["sx-mathoverflow"],
+    "reddit-title": DYNAMIC_DATASETS["reddit-title"],
+}
+
+
+def test_fig9(benchmark):
+    results, text = benchmark.pedantic(
+        fig9_time_breakup,
+        kwargs=dict(feature_sizes=(4, 64), datasets=_DATASETS, scale=0.02),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    for name in _DATASETS:
+        per_ds = [r for r in results if name in r.dataset]
+        small = next(r for r in per_ds if r.params["F"] == 4)
+        large = next(r for r in per_ds if r.params["F"] == 64)
+        assert large.graph_update_fraction < small.graph_update_fraction
+        assert 0.0 < large.graph_update_fraction < 1.0

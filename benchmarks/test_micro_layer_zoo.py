@@ -1,0 +1,76 @@
+"""Layer-zoo micro-benchmarks: one forward+backward per spatial layer.
+
+Compares the compiled cost of every vertex-centric layer in the library on
+the same graph — a quick way to see what attention (edge-scalar pipeline),
+Chebyshev hops, diffusion walks, and relation masking each cost relative
+to plain GCN.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import TemporalExecutor
+from repro.graph import StaticGraph
+from repro.nn import ChebConv, DConv, GATConv, GCNConv, RGCNConv, SAGEConv
+from repro.tensor import Tensor, functional as F
+
+N = 2000
+P = 0.01
+FIN, FOUT = 32, 32
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = nx.gnp_random_graph(N, P, seed=9, directed=True)
+    edges = np.array(list(g.edges()), dtype=np.int64).T
+    return StaticGraph(edges[0], edges[1], N)
+
+
+@pytest.fixture
+def executor(graph):
+    ex = TemporalExecutor(graph)
+    ex.begin_timestamp(0)
+    return ex
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((N, FIN)).astype(np.float32)
+
+
+def _fwd_bwd(layer_call):
+    def op():
+        xt = Tensor(op.x_np, requires_grad=True)
+        out = layer_call(xt)
+        F.sum(out).backward()
+        return out
+
+    return op
+
+
+@pytest.mark.parametrize(
+    "name,factory,extra",
+    [
+        ("gcn", lambda: GCNConv(FIN, FOUT), None),
+        ("gat", lambda: GATConv(FIN, FOUT), None),
+        ("sage", lambda: SAGEConv(FIN, FOUT), None),
+        ("cheb_k3", lambda: ChebConv(FIN, FOUT, k=3), None),
+        ("dconv_k2", lambda: DConv(FIN, FOUT, k=2), None),
+        ("rgcn_r3", lambda: RGCNConv(FIN, FOUT, num_relations=3), "relations"),
+    ],
+)
+def test_layer_forward_backward(benchmark, executor, graph, x, rng, name, factory, extra):
+    layer = factory()
+    relations = rng.integers(0, 3, graph.num_edges) if extra == "relations" else None
+
+    def op():
+        xt = Tensor(x, requires_grad=True)
+        if relations is not None:
+            out = layer(executor, xt, relations)
+        else:
+            out = layer(executor, xt)
+        F.sum(out).backward()
+        executor.check_drained()
+
+    benchmark(op)

@@ -1,0 +1,31 @@
+"""End-to-end per-epoch micro-benchmarks of the three DTDG systems and the
+two static systems (the numbers behind Figures 5 and 7, one configuration)."""
+
+import pytest
+
+from repro.bench.measure import run_dynamic_experiment, run_static_experiment
+from repro.dataset import load_sx_mathoverflow, load_windmill_output
+
+
+@pytest.mark.parametrize("system", ["stgraph", "pygt"])
+def test_static_epoch(benchmark, system):
+    def run():
+        return run_static_experiment(
+            system, load_windmill_output, feature_size=16,
+            scale=0.3, num_timestamps=10, epochs=2, warmup=1,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{system}: {result.per_epoch_seconds:.4f}s/epoch, {result.peak_memory_bytes/1e6:.1f}MB")
+
+
+@pytest.mark.parametrize("system", ["naive", "gpma", "pygt"])
+def test_dynamic_epoch(benchmark, system):
+    def run():
+        return run_dynamic_experiment(
+            system, load_sx_mathoverflow, feature_size=16,
+            scale=0.02, epochs=2, warmup=1,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{system}: {result.per_epoch_seconds:.4f}s/epoch, {result.peak_memory_bytes/1e6:.1f}MB")

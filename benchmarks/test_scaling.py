@@ -1,0 +1,27 @@
+"""Scalability extension: per-epoch time vs dataset scale for the three
+DTDG systems (backs the paper's closing scalability claim for GPMA)."""
+
+from repro.bench.experiments import scaling_experiment
+
+
+def test_scaling(benchmark):
+    results, text = benchmark.pedantic(
+        scaling_experiment,
+        kwargs=dict(scales=(0.01, 0.03), feature_size=16, epochs=3),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+
+    def t(system, scale):
+        return next(
+            r for r in results if r.system == system and r.params["scale"] == scale
+        ).per_epoch_seconds
+
+    # times grow with scale for every system
+    for system in ("naive", "gpma", "pygt"):
+        assert t(system, 0.03) > t(system, 0.01)
+    # PyG-T's growth factor is at least as large as GPMA's (edge-parallel
+    # cost scales with E×F; the PMA update cost amortizes)
+    gpma_growth = t("gpma", 0.03) / t("gpma", 0.01)
+    pygt_growth = t("pygt", 0.03) / t("pygt", 0.01)
+    assert pygt_growth > gpma_growth * 0.8  # allow noise; orderings checked in fig7

@@ -1,0 +1,12 @@
+"""Table I: library capability matrix (documentation table)."""
+
+from repro.bench.experiments import table1_capabilities
+
+
+def test_table1(benchmark):
+    rows, text = benchmark.pedantic(table1_capabilities, rounds=1, iterations=1)
+    print("\n" + text)
+    assert len(rows) == 7
+    stgraph = rows[-1]
+    assert stgraph["backend"] == "Agnostic"
+    assert stgraph["static"] == "yes" and stgraph["temporal"] == "yes"

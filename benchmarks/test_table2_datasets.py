@@ -1,0 +1,12 @@
+"""Table II: dataset summary (synthetic stand-ins at bench scale)."""
+
+from repro.bench.experiments import table2_datasets
+
+
+def test_table2(benchmark):
+    rows, text = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
+    print("\n" + text)
+    assert len(rows) == 10
+    assert sum(r["type"] == "Static" for r in rows) == 5
+    assert sum(r["type"] == "Dynamic" for r in rows) == 5
+    assert all(r["nodes"] > 0 and r["edges"] > 0 for r in rows)

@@ -1,0 +1,49 @@
+"""Table III: max/avg improvement of STGraph variants over PyG-T.
+
+Aggregates a compact version of the Figure 5-8 sweeps.  Expected shape
+(paper: Static 1.69×/2.14×, Naive 1.65×, GPMA 1.20×/1.91× as maxima):
+Static and Naive beat PyG-T on time; GPMA beats PyG-T on memory.  Absolute
+factors differ on the simulated device; orderings must hold.
+"""
+
+from repro.bench.experiments import (
+    fig5_static_time,
+    fig7_dtdg_time,
+    fig8_dtdg_memory,
+    table3_summary,
+)
+from repro.dataset import DYNAMIC_DATASETS, STATIC_DATASETS
+
+
+def _parse(cell: str) -> float:
+    return float(cell.rstrip("x"))
+
+
+def test_table3(benchmark):
+    def run():
+        static, _ = fig5_static_time(
+            feature_sizes=(8, 32),
+            datasets={k: STATIC_DATASETS[k] for k in ("WO", "HC")},
+            num_timestamps=10,
+        )
+        dyn_t, _ = fig7_dtdg_time(
+            feature_sizes=(8, 64),
+            datasets={"sx-mathoverflow": DYNAMIC_DATASETS["sx-mathoverflow"]},
+            scale=0.03,
+        )
+        dyn_m, _ = fig8_dtdg_memory(
+            percent_changes=(2.0, 10.0),
+            datasets={"sx-mathoverflow": DYNAMIC_DATASETS["sx-mathoverflow"]},
+            epochs=2,
+            scale=0.01,
+        )
+        return table3_summary(static, dyn_t, dyn_m)
+
+    rows, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + text)
+    by_metric = {r["metric"]: r for r in rows}
+    assert _parse(by_metric["Time/epoch (max)"]["Static"]) > 1.0
+    assert _parse(by_metric["Time/epoch (max)"]["Naive"]) > 1.0
+    assert _parse(by_metric["Time/epoch (max)"]["GPMA"]) > 1.0  # post-crossover cell
+    assert _parse(by_metric["Memory (max)"]["Static"]) > 1.0
+    assert _parse(by_metric["Memory (max)"]["GPMA"]) > 1.0

@@ -1,0 +1,102 @@
+"""Epidemic forecasting with spectral and diffusion TGNNs.
+
+Forecasts county-level case counts (Hungary Chickenpox stand-in) with two
+architectures beyond the benchmark TGCN:
+
+* **ChebConv + GRU** — spectral filtering (the ChebConv building block
+  PyG-T composes, paper §III);
+* **DCRNN** — bidirectional diffusion convolution, which compiles to the
+  framework's in- *and* out-neighbor aggregations in one fused kernel each.
+
+Also demonstrates the training utilities: chronological train/test split,
+early stopping with best-weight restore, checkpointing, and the rollout
+evaluator.
+
+Run:  python examples/epidemic_forecasting.py
+"""
+
+import tempfile
+
+from repro.core import TemporalExecutor
+from repro.dataset import load_hungary_chickenpox
+from repro.nn import DCRNN, ChebConv
+from repro.tensor import functional as F, init
+from repro.tensor.nn import GRUCell, Linear, Module
+from repro.tensor.tensor import Tensor
+from repro.train import (
+    EarlyStopping,
+    STGraphTrainer,
+    evaluate_regression,
+    load_checkpoint,
+    save_checkpoint,
+    temporal_train_test_split,
+)
+
+LAGS = 8
+HIDDEN = 16
+
+
+class ChebGRURegressor(Module):
+    """Chebyshev-filtered inputs driving a GRU, with a linear head."""
+
+    def __init__(self, in_features: int, hidden: int, k: int = 3) -> None:
+        super().__init__()
+        self.conv = ChebConv(in_features, hidden, k=k)
+        self.cell = GRUCell(hidden, hidden)
+        self.head = Linear(hidden, 1)
+        self.hidden = hidden
+
+    def step(self, executor: TemporalExecutor, x: Tensor, state):
+        if state is None:
+            state = F.zeros((x.shape[0], self.hidden))
+        h = self.cell(F.tanh(self.conv(executor, x)), state)
+        return self.head(h), h
+
+
+class DCRNNRegressor(Module):
+    """The diffusion-convolutional GRU with a linear head."""
+
+    def __init__(self, in_features: int, hidden: int, k: int = 2) -> None:
+        super().__init__()
+        self.cell = DCRNN(in_features, hidden, k=k)
+        self.head = Linear(hidden, 1)
+
+    def step(self, executor: TemporalExecutor, x: Tensor, state):
+        h = self.cell(executor, x, state)
+        return self.head(h), h
+
+
+def train_model(name: str, model: Module, dataset) -> None:
+    tr_x, te_x, tr_y, te_y = temporal_train_test_split(
+        dataset.features, dataset.targets, train_ratio=0.8
+    )
+    trainer = STGraphTrainer(model, dataset.build_graph(), lr=1e-2)
+    stopper = EarlyStopping(patience=8, min_delta=1e-3)
+    for epoch in range(60):
+        loss = trainer.train_epoch(tr_x, tr_y)
+        if stopper.step(loss, model):
+            print(f"{name}: early stop at epoch {epoch} (best train loss {stopper.best_loss:.4f})")
+            break
+    stopper.restore_best(model)
+
+    # checkpoint round-trip (resumable training)
+    with tempfile.NamedTemporaryFile(suffix=".npz") as tmp:
+        save_checkpoint(tmp.name, model, trainer.optimizer, extra={"dataset": dataset.name})
+        extra = load_checkpoint(tmp.name, model, trainer.optimizer)
+        assert extra["dataset"] == dataset.name
+
+    metrics = evaluate_regression(model, trainer.executor, te_x, te_y, start_timestamp=len(tr_x))
+    print(f"{name}: held-out  rmse={metrics['rmse']:.4f}  mae={metrics['mae']:.4f}\n")
+
+
+def main() -> None:
+    dataset = load_hungary_chickenpox(lags=LAGS, num_timestamps=80)
+    print(f"dataset: {dataset.summary_row()}\n")
+    init.set_seed(5)
+    train_model("ChebConv+GRU (K=3)", ChebGRURegressor(LAGS, HIDDEN), dataset)
+    init.set_seed(5)
+    train_model("DCRNN (K=2)", DCRNNRegressor(LAGS, HIDDEN), dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Edge-parallel message passing (the PyG mechanism).
+
+``propagate`` follows PyG's gather → message → scatter pattern through the
+autodiff tensor engine:
+
+1. ``x_j = x[edge_index[0]]`` — **gather**: an ``E×F`` tensor of duplicated
+   source features (``IndexSelect``);
+2. ``msg = message(x_j, edge_weight)`` — per-edge update (``E×F``);
+3. ``out = scatter_add(msg, edge_index[1], N)`` — reduce to nodes.
+
+Because ``Mul``'s backward needs both operands, the tape retains the
+``E×F`` gathered features until ``backward()`` — one per layer per
+timestamp across a whole training sequence.  That retained memory, and the
+bandwidth of writing/reading the message tensor, are the two costs the
+paper attributes PyG-T's slower, bigger curves to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.nn import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["MessagePassing"]
+
+
+class MessagePassing(Module):
+    """Base class: subclasses override :meth:`message`."""
+
+    def propagate(
+        self,
+        edge_index: np.ndarray,
+        x: Tensor,
+        edge_weight: Tensor | np.ndarray | None = None,
+        num_nodes: int | None = None,
+    ) -> Tensor:
+        """Gather per-edge source features, apply :meth:`message`, scatter-add to targets."""
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise ValueError("edge_index must be a (2, E) array")
+        num_nodes = num_nodes if num_nodes is not None else x.shape[0]
+        src, dst = edge_index[0], edge_index[1]
+        x_j = F.index_select(x, src)  # E×F duplication
+        msg = self.message(x_j, edge_weight)
+        return F.scatter_add(msg, dst, num_nodes)
+
+    def message(self, x_j: Tensor, edge_weight: Tensor | np.ndarray | None) -> Tensor:
+        """Per-edge update: the gathered features, optionally weighted."""
+        if edge_weight is None:
+            return x_j
+        if isinstance(edge_weight, Tensor):
+            w = F.reshape(edge_weight, (-1, 1)) if edge_weight.ndim == 1 else edge_weight
+        else:
+            w = np.asarray(edge_weight, dtype=np.float32).reshape(-1, 1)
+        return F.mul(x_j, w)

@@ -1,0 +1,86 @@
+"""Temporal signal iterators (the PyG-T dataset API).
+
+PyG-T exposes datasets as iterators of per-timestamp snapshots; both the
+baseline and STGraph's dataloaders build on these so benchmark code can
+iterate either framework identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TemporalSnapshot", "StaticGraphTemporalSignal", "DynamicGraphTemporalSignal"]
+
+
+@dataclass
+class TemporalSnapshot:
+    """One timestamp: structure + features + targets."""
+
+    edge_index: np.ndarray  # (2, E)
+    x: np.ndarray  # (N, F)
+    y: np.ndarray | None  # targets (task-dependent)
+
+
+class StaticGraphTemporalSignal:
+    """Fixed ``edge_index``, per-timestamp features/targets."""
+
+    def __init__(
+        self,
+        edge_index: np.ndarray,
+        features: list[np.ndarray],
+        targets: list[np.ndarray | None],
+    ) -> None:
+        if len(features) != len(targets):
+            raise ValueError("features/targets length mismatch")
+        self.edge_index = np.asarray(edge_index, dtype=np.int64)
+        self.features = features
+        self.targets = targets
+
+    @property
+    def snapshot_count(self) -> int:
+        """Number of timestamps."""
+        return len(self.features)
+
+    def __len__(self) -> int:
+        return self.snapshot_count
+
+    def __getitem__(self, t: int) -> TemporalSnapshot:
+        return TemporalSnapshot(self.edge_index, self.features[t], self.targets[t])
+
+    def __iter__(self) -> Iterator[TemporalSnapshot]:
+        for t in range(self.snapshot_count):
+            yield self[t]
+
+
+class DynamicGraphTemporalSignal:
+    """Per-timestamp ``edge_index`` + features/targets."""
+
+    def __init__(
+        self,
+        edge_indices: list[np.ndarray],
+        features: list[np.ndarray],
+        targets: list[np.ndarray | None],
+    ) -> None:
+        if not (len(edge_indices) == len(features) == len(targets)):
+            raise ValueError("edge_indices/features/targets length mismatch")
+        self.edge_indices = [np.asarray(e, dtype=np.int64) for e in edge_indices]
+        self.features = features
+        self.targets = targets
+
+    @property
+    def snapshot_count(self) -> int:
+        """Number of timestamps."""
+        return len(self.features)
+
+    def __len__(self) -> int:
+        return self.snapshot_count
+
+    def __getitem__(self, t: int) -> TemporalSnapshot:
+        return TemporalSnapshot(self.edge_indices[t], self.features[t], self.targets[t])
+
+    def __iter__(self) -> Iterator[TemporalSnapshot]:
+        for t in range(self.snapshot_count):
+            yield self[t]

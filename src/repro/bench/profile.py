@@ -1,0 +1,97 @@
+"""Training-run profiling: one call → a phase/stack/memory report.
+
+Wraps any trainer in a fresh device and reports where the time went
+(GNN kernels vs graph updates vs everything else), how deep the State and
+Graph stacks ran, and the peak residency — the quickest way for a user to
+see the paper's Figure 9 decomposition on *their* workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.report import format_table
+from repro.device import Device, use_device
+
+__all__ = ["ProfileReport", "profile_training"]
+
+
+@dataclass
+class ProfileReport:
+    """Phase/stack/memory summary of one profiled training run."""
+    epochs: int
+    total_seconds: float
+    gnn_seconds: float
+    graph_update_seconds: float
+    preprocess_seconds: float
+    peak_memory_bytes: int
+    state_stack_peak_depth: int
+    state_stack_peak_bytes: int
+    graph_stack_peak_depth: int
+    kernel_launches: int
+    final_loss: float
+
+    @property
+    def other_seconds(self) -> float:
+        """Wall time outside the gnn/update/preprocess phases."""
+        return max(
+            0.0,
+            self.total_seconds
+            - self.gnn_seconds
+            - self.graph_update_seconds
+            - self.preprocess_seconds,
+        )
+
+    def render(self) -> str:
+        """ASCII table plus a one-line memory/stack summary."""
+        def pct(x: float) -> str:
+            return f"{100 * x / self.total_seconds:.1f}%" if self.total_seconds else "-"
+
+        rows = [
+            {"phase": "gnn kernels", "seconds": round(self.gnn_seconds, 4), "share": pct(self.gnn_seconds)},
+            {"phase": "graph updates", "seconds": round(self.graph_update_seconds, 4), "share": pct(self.graph_update_seconds)},
+            {"phase": "preprocessing", "seconds": round(self.preprocess_seconds, 4), "share": pct(self.preprocess_seconds)},
+            {"phase": "other (optimizer, losses, host)", "seconds": round(self.other_seconds, 4), "share": pct(self.other_seconds)},
+        ]
+        extra = (
+            f"peak memory: {self.peak_memory_bytes / 1e6:.2f} MB | "
+            f"kernel launches: {self.kernel_launches} | "
+            f"state stack: depth {self.state_stack_peak_depth}, "
+            f"{self.state_stack_peak_bytes / 1e3:.1f} KB peak | "
+            f"graph stack: depth {self.graph_stack_peak_depth} | "
+            f"final loss: {self.final_loss:.4f}"
+        )
+        return format_table(rows, title=f"Profile ({self.epochs} epochs, {self.total_seconds:.3f}s)") + "\n" + extra
+
+
+def profile_training(build_trainer, features, targets=None, epochs: int = 3) -> ProfileReport:
+    """Profile a training run on a fresh device.
+
+    ``build_trainer()`` must construct and return an
+    :class:`~repro.train.trainer.STGraphTrainer` (built *inside* the call so
+    all allocations land on the profiled device).
+    """
+    import time
+
+    device = Device(name="profile")
+    with use_device(device):
+        trainer = build_trainer()
+        start = time.perf_counter()
+        loss = 0.0
+        for _ in range(epochs):
+            loss = trainer.train_epoch(features, targets)
+        total = time.perf_counter() - start
+        stats = trainer.executor.stats()
+        return ProfileReport(
+            epochs=epochs,
+            total_seconds=total,
+            gnn_seconds=device.profiler.seconds("gnn"),
+            graph_update_seconds=device.profiler.seconds("graph_update"),
+            preprocess_seconds=device.profiler.seconds("preprocess"),
+            peak_memory_bytes=device.tracker.peak_bytes,
+            state_stack_peak_depth=stats["state_stack_peak_depth"],
+            state_stack_peak_bytes=stats["state_stack_peak_bytes"],
+            graph_stack_peak_depth=stats["graph_stack_peak_depth"],
+            kernel_launches=device.launcher.launch_count,
+            final_loss=loss,
+        )

@@ -1,0 +1,73 @@
+"""Paper-style ASCII rendering of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "ascii_series", "improvement"]
+
+
+def format_table(rows: Sequence[Mapping], headers: Sequence[str] | None = None, title: str = "") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(headers or rows[0].keys())
+    cells = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """A minimal multi-series scatter/line chart in ASCII.
+
+    Each series gets a marker; points are binned onto a width×height grid.
+    Good enough to see orderings and crossovers — the properties the paper's
+    figures communicate.
+    """
+    markers = "*o+x#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x0) / xspan * (width - 1))
+            row = height - 1 - int((y - y0) / yspan * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} [{y0:.4g} .. {y1:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} [{x0:.4g} .. {x1:.4g}]")
+    for (name, _), marker in zip(series.items(), markers):
+        lines.append(f"  {marker} = {name}")
+    return "\n".join(lines)
+
+
+def improvement(baseline: float, ours: float) -> float:
+    """Paper-style improvement factor: baseline / ours (>1 means we win)."""
+    return baseline / ours if ours > 0 else float("inf")

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``
+    Library version, registered backends, available datasets and models.
+``inspect --layer gcn``
+    Compile a layer's vertex program and dump every compilation stage
+    (vertex IR, tensor IR, generated kernels, State-Stack analysis).
+``train --dataset HC --model tgcn --epochs 20``
+    Train a model on a Table II dataset with Algorithm 1 and report loss,
+    timing, and memory.  ``--system pygt`` runs the baseline instead.
+``bench --experiment fig5``
+    Run one of the paper's table/figure experiments and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+_MODELS = ("tgcn", "gconv_gru", "gconv_lstm", "dcrnn", "a3tgcn")
+_LAYERS = ("gcn", "gat", "sage", "cheb", "dconv")
+_EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "table3")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core.backend import available_backends
+    from repro.dataset import DYNAMIC_DATASETS, STATIC_DATASETS
+
+    print(f"repro {repro.__version__} — STGraph reproduction (IPDPS 2024)")
+    print(f"backends: {', '.join(available_backends())}")
+    print(f"static datasets:  {', '.join(STATIC_DATASETS)}")
+    print(f"dynamic datasets: {', '.join(DYNAMIC_DATASETS)}")
+    print(f"models: {', '.join(_MODELS)}")
+    print(f"layers: {', '.join(_LAYERS)}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.nn import ChebConv, DConv, GATConv, GCNConv, SAGEConv
+
+    factories = {
+        "gcn": lambda: GCNConv(args.features, args.features),
+        "gat": lambda: GATConv(args.features, args.features),
+        "sage": lambda: SAGEConv(args.features, args.features),
+        "cheb": lambda: ChebConv(args.features, args.features, k=3),
+        "dconv": lambda: DConv(args.features, args.features, k=2),
+    }
+    layer = factories[args.layer]()
+    if args.dot:
+        from repro.compiler.viz import tensor_ir_to_dot, vertex_ir_to_dot
+
+        print(vertex_ir_to_dot(layer.program.traced.root, name=f"{args.layer}_vertex_ir"))
+        print(tensor_ir_to_dot(layer.program.fwd_prog))
+        print(tensor_ir_to_dot(layer.program.bwd_prog))
+        return 0
+    print(layer.program.describe())
+    print("\n=== generated forward kernel ===")
+    print(layer.generated_forward_source)
+    print("=== generated backward kernel ===")
+    print(layer.generated_backward_source)
+    return 0
+
+
+def _build_model(name: str, in_features: int, hidden: int):
+    from repro.nn import A3TGCN, DCRNN, GConvGRU, GConvLSTM, TGCN
+    from repro.tensor import functional as F
+    from repro.tensor.nn import Linear, Module
+
+    class Regressor(Module):
+        def __init__(self, cell, lstm: bool = False) -> None:
+            super().__init__()
+            self.cell = cell
+            self.head = Linear(hidden, 1)
+            self.lstm = lstm
+
+        def step(self, executor, x, state):
+            if self.lstm:
+                h, c = self.cell(executor, x, *(state if state else (None, None)))
+                return self.head(h), (h, c)
+            h = self.cell(executor, x, state)
+            return self.head(h), h
+
+    if name == "tgcn":
+        return Regressor(TGCN(in_features, hidden))
+    if name == "gconv_gru":
+        return Regressor(GConvGRU(in_features, hidden))
+    if name == "gconv_lstm":
+        return Regressor(GConvLSTM(in_features, hidden), lstm=True)
+    if name == "dcrnn":
+        return Regressor(DCRNN(in_features, hidden, k=2))
+    if name == "a3tgcn":
+        raise SystemExit("a3tgcn needs windowed inputs; see examples/ for usage")
+    raise SystemExit(f"unknown model {name!r}")
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dataset import DYNAMIC_DATASETS, STATIC_DATASETS
+    from repro.device import Device, use_device
+    from repro.tensor import init
+    from repro.train import (
+        BaselineTrainer,
+        PyGTNodeRegressor,
+        STGraphLinkPredictor,
+        STGraphTrainer,
+        make_link_prediction_samples,
+        temporal_train_test_split,
+    )
+
+    device = Device(name="cli")
+    with use_device(device):
+        init.set_seed(args.seed)
+        if args.dataset in STATIC_DATASETS:
+            ds = STATIC_DATASETS[args.dataset](
+                lags=args.features, scale=args.scale, num_timestamps=args.timestamps
+            )
+            print(f"dataset: {ds.summary_row()}")
+            tr_x, te_x, tr_y, te_y = temporal_train_test_split(ds.features, ds.targets, 0.8)
+            if args.system == "pygt":
+                model = PyGTNodeRegressor(args.features, args.hidden)
+                trainer = BaselineTrainer(
+                    model, ds.to_pygt_signal().edge_index,
+                    lr=args.lr, sequence_length=args.sequence_length,
+                )
+            else:
+                model = _build_model(args.model, args.features, args.hidden)
+                trainer = STGraphTrainer(
+                    model, ds.build_graph(), lr=args.lr,
+                    sequence_length=args.sequence_length,
+                )
+            losses = trainer.train(tr_x, tr_y, epochs=args.epochs, warmup=min(2, args.epochs - 1))
+        elif args.dataset in DYNAMIC_DATASETS:
+            if args.system == "pygt" or args.model != "tgcn":
+                raise SystemExit("dynamic CLI training supports --system stgraph --model tgcn")
+            ds = DYNAMIC_DATASETS[args.dataset](
+                scale=args.scale, feature_size=args.features, max_snapshots=args.timestamps
+            )
+            print(f"dataset: {ds.summary_row()}")
+            samples = make_link_prediction_samples(ds.dtdg, 128, seed=args.seed)
+            model = STGraphLinkPredictor(args.features, args.hidden)
+            trainer = STGraphTrainer(
+                model, ds.build_gpma(), lr=args.lr,
+                sequence_length=args.sequence_length,
+                task="link_prediction", link_samples=samples,
+            )
+            losses = trainer.train(ds.features, epochs=args.epochs, warmup=min(2, args.epochs - 1))
+        else:
+            raise SystemExit(f"unknown dataset {args.dataset!r}; see `info`")
+
+        print(f"loss: {losses[0]:.4f} -> {losses[-1]:.4f} over {args.epochs} epochs")
+        print(f"per-epoch time: {trainer.mean_epoch_time * 1e3:.1f} ms")
+        print(f"peak device memory: {device.tracker.peak_bytes / 1e6:.2f} MB")
+        gnn = device.profiler.seconds("gnn")
+        upd = device.profiler.seconds("graph_update")
+        if gnn + upd > 0:
+            print(f"time split: gnn {100 * gnn / (gnn + upd):.1f}% / updates {100 * upd / (gnn + upd):.1f}%")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as exp
+
+    start = time.perf_counter()
+    if args.experiment == "table1":
+        print(exp.table1_capabilities()[1])
+    elif args.experiment == "table2":
+        print(exp.table2_datasets()[1])
+    elif args.experiment == "fig5":
+        print(exp.fig5_static_time(feature_sizes=(8, 32))[1])
+    elif args.experiment == "fig6":
+        print(exp.fig6_static_memory(sequence_lengths=(5, 15))[1])
+    elif args.experiment == "fig7":
+        print(exp.fig7_dtdg_time(feature_sizes=(8, 64))[1])
+    elif args.experiment == "fig8":
+        print(exp.fig8_dtdg_memory(percent_changes=(1.0, 10.0))[1])
+    elif args.experiment == "fig9":
+        print(exp.fig9_time_breakup(feature_sizes=(8, 64))[1])
+    elif args.experiment == "table3":
+        static, _ = exp.fig5_static_time(feature_sizes=(8, 32))
+        dyn_t, _ = exp.fig7_dtdg_time(feature_sizes=(8, 64))
+        dyn_m, _ = exp.fig8_dtdg_memory(percent_changes=(2.0, 10.0))
+        print(exp.table3_summary(static, dyn_t, dyn_m)[1])
+    print(f"\n({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library/version/dataset overview")
+
+    p_inspect = sub.add_parser("inspect", help="dump a layer's compilation stages")
+    p_inspect.add_argument("--layer", choices=_LAYERS, default="gcn")
+    p_inspect.add_argument("--features", type=int, default=8)
+    p_inspect.add_argument("--dot", action="store_true", help="emit Graphviz dot instead of text")
+
+    p_train = sub.add_parser("train", help="train a model on a Table II dataset")
+    p_train.add_argument("--dataset", default="HC")
+    p_train.add_argument("--model", choices=_MODELS, default="tgcn")
+    p_train.add_argument("--system", choices=("stgraph", "pygt"), default="stgraph")
+    p_train.add_argument("--epochs", type=int, default=20)
+    p_train.add_argument("--features", type=int, default=8)
+    p_train.add_argument("--hidden", type=int, default=16)
+    p_train.add_argument("--lr", type=float, default=1e-2)
+    p_train.add_argument("--sequence-length", type=int, default=None)
+    p_train.add_argument("--timestamps", type=int, default=40)
+    p_train.add_argument("--scale", type=float, default=1.0)
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("--experiment", choices=_EXPERIMENTS, required=True)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "inspect": _cmd_inspect,
+        "train": _cmd_train,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # output piped into head/less that closed early
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

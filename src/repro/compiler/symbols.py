@@ -1,0 +1,191 @@
+"""Tracing proxies: the user-facing vertex-centric programming surface.
+
+The user function receives a :class:`Vertex` ``v``:
+
+* ``v.<name>``            — destination-vertex feature (DST stage);
+* ``v.innbs``             — iterable of symbolic in-neighbors;
+* ``nb.<name>``           — neighbor feature (SRC stage);
+* ``nb.edge.<name>``      — feature of the connecting edge (EDGE stage);
+* ``sum(expr for nb in v.innbs)`` or ``v.agg_sum(fn)`` — sum aggregation;
+* ``v.agg_mean(fn)`` / ``v.agg_max(fn)``;
+* ``v.edge_softmax(fn)``  — softmax of a per-edge score over in-edges
+  (GAT-style attention).
+
+Unary math inside traces lives in :data:`vfn` (``vfn.tanh`` etc.), mirroring
+Seastar's intercepted operators.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable, Iterator
+
+from repro.compiler.ir import Stage, VNode
+
+__all__ = ["Vertex", "NbProxy", "trace", "vfn", "TraceResult"]
+
+
+class _EdgeProxy:
+    """``nb.edge`` — attribute access yields EDGE-stage feature leaves."""
+
+    def __init__(self, tracer: "_Tracer") -> None:
+        object.__setattr__(self, "_tracer", tracer)
+
+    def __getattr__(self, name: str) -> VNode:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._tracer.edge_feat(name)
+
+
+class NbProxy:
+    """The symbolic in-neighbor; one instance represents *all* neighbors."""
+
+    def __init__(self, tracer: "_Tracer") -> None:
+        object.__setattr__(self, "_tracer", tracer)
+        object.__setattr__(self, "edge", _EdgeProxy(tracer))
+
+    def __getattr__(self, name: str) -> VNode:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._tracer.node_feat(name, Stage.SRC)
+
+
+class _NbIterable:
+    """``v.innbs`` — yields the single symbolic neighbor exactly once, so
+    ``sum(expr for nb in v.innbs)`` evaluates the body once and the trailing
+    ``0 + expr`` from ``sum`` is folded by ``VNode.__radd__``; the tracer
+    wraps the resulting expression in an aggregation node on exit."""
+
+    def __init__(self, tracer: "_Tracer") -> None:
+        self._tracer = tracer
+
+    def __iter__(self) -> Iterator[NbProxy]:
+        self._tracer.enter_generator_agg()
+        yield self._tracer.nb
+        self._tracer.exit_generator_agg()
+
+
+class Vertex:
+    """The symbolic center vertex passed to the user function."""
+
+    def __init__(self, tracer: "_Tracer") -> None:
+        object.__setattr__(self, "_tracer", tracer)
+        object.__setattr__(self, "innbs", _NbIterable(tracer))
+
+    def __getattr__(self, name: str) -> VNode:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._tracer.node_feat(name, Stage.DST)
+
+    # explicit aggregation API ------------------------------------------
+    def agg_sum(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Sum the body over in-neighbors."""
+        return VNode.agg("sum", fn(self._tracer.nb))
+
+    def agg_mean(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Average the body over in-neighbors (degree clamped to 1)."""
+        return VNode.agg("mean", fn(self._tracer.nb))
+
+    def agg_max(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Max of a source-stage payload over in-neighbors."""
+        return VNode.agg("max", fn(self._tracer.nb))
+
+    # out-neighbor aggregation (random-walk/diffusion models like DCRNN
+    # aggregate along both edge directions; ``nb`` is then the *target* of
+    # each out-edge and ``v`` the source)
+    def agg_sum_out(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Sum the body over out-neighbors (``nb`` is each out-edge's target)."""
+        return VNode.agg("sum", fn(self._tracer.nb), direction="out")
+
+    def agg_mean_out(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Average the body over out-neighbors."""
+        return VNode.agg("mean", fn(self._tracer.nb), direction="out")
+
+    def edge_softmax(self, fn: Callable[[NbProxy], VNode]) -> VNode:
+        """Per-edge attention: softmax of the score over each vertex's in-edges."""
+        return VNode.edge_softmax(fn(self._tracer.nb))
+
+
+class _Tracer:
+    def __init__(self) -> None:
+        self.node_feats: dict[str, VNode] = {}
+        self.edge_feats: dict[str, VNode] = {}
+        self.nb = NbProxy(self)
+        self.vertex = Vertex(self)
+        self._gen_depth = 0
+
+    def node_feat(self, name: str, stage: Stage) -> VNode:
+        # The same feature name may be read at both stages (e.g. `norm`);
+        # they are distinct IR leaves over the same underlying array.
+        key = f"{name}@{stage.value}"
+        node = self.node_feats.get(key)
+        if node is None:
+            node = VNode.feat(name, stage)
+            self.node_feats[key] = node
+        return node
+
+    def edge_feat(self, name: str) -> VNode:
+        node = self.edge_feats.get(name)
+        if node is None:
+            node = VNode.feat(name, Stage.EDGE)
+            self.edge_feats[name] = node
+        return node
+
+    def enter_generator_agg(self) -> None:
+        self._gen_depth += 1
+
+    def exit_generator_agg(self) -> None:
+        self._gen_depth -= 1
+
+
+class TraceResult:
+    """Output of :func:`trace`: the root VNode plus leaf inventories."""
+
+    def __init__(self, root: VNode, node_feature_names: list[str], edge_feature_names: list[str]) -> None:
+        self.root = root
+        self.node_feature_names = node_feature_names
+        self.edge_feature_names = edge_feature_names
+
+    def signature(self) -> str:
+        """Structural identity string (the kernel-cache key)."""
+        return self.root.signature()
+
+
+def trace(fn: Callable[[Vertex], VNode]) -> TraceResult:
+    """Run the vertex-centric function symbolically.
+
+    Generator-style sums (``sum(... for nb in v.innbs)``) come back as the
+    bare body expression (the ``0 +`` start value folds away); wrap any
+    non-DST root in a sum aggregation — that is the only way a neighbor
+    expression can become a per-vertex output.
+    """
+    tracer = _Tracer()
+    root = fn(tracer.vertex)
+    if not isinstance(root, VNode):
+        raise TypeError(f"vertex function returned {type(root).__name__}, expected an expression")
+    if root.stage in (Stage.SRC, Stage.EDGE):
+        root = VNode.agg("sum", root)
+    node_names = sorted({n.name for n in root.leaves() if n.stage in (Stage.SRC, Stage.DST)})
+    edge_names = sorted({n.name for n in root.leaves() if n.stage == Stage.EDGE})
+    return TraceResult(root, node_names, edge_names)
+
+
+def _unary(op: str, **fixed: float) -> Callable[..., VNode]:
+    def f(x: VNode, **kw: float) -> VNode:
+        if not isinstance(x, VNode):
+            raise TypeError(f"vfn.{op} expects a traced expression")
+        return VNode.unary(op, x, **{**fixed, **kw})
+
+    f.__name__ = op
+    return f
+
+
+#: math namespace usable inside vertex functions
+vfn = SimpleNamespace(
+    exp=_unary("exp"),
+    log=_unary("log"),
+    tanh=_unary("tanh"),
+    sigmoid=_unary("sigmoid"),
+    relu=_unary("relu"),
+    leaky_relu=_unary("leaky_relu", slope=0.01),
+)

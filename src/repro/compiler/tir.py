@@ -1,0 +1,102 @@
+"""Tensor-level IR: the linear program both codegen targets.
+
+After lowering, a vertex program is a sequence of :class:`TOp` over named
+buffers living in one of three *spaces*:
+
+* ``node``  — arrays with first dimension N (features, payloads, outputs);
+* ``edge``  — scalars per edge in canonical (forward-CSR position) order;
+* ``scalar``— Python floats (folded constants).
+
+The aggregation ops are where the graph enters:
+
+=================  ===========================================================
+``spmm``           ``out[v] = Σ_{e∈in(v)} w[e]·x[src[e]]`` (forward CSR);
+                   ``w`` may be the literal ``"__ones__"``.
+``spmm_T``         the transpose product over the backward CSR (gradient path)
+``segment_sum``    edge scalars summed per destination
+``segment_sum_dst``alias of segment_sum used by gradients of ``gather_dst``
+``scatter_src``    edge scalars summed per *source* vertex
+``gather_src``     node value replicated per edge from its source
+``gather_dst``     node value replicated per edge from its destination
+``edge_softmax``   softmax of an edge score over each vertex's in-edges
+``edge_dot``       per-edge feature dot of two node-space values
+``agg_max``        max-aggregation of a node payload over in-edges
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TOp", "TProgram", "EW_UNARY", "EW_BINARY"]
+
+EW_UNARY = {"neg", "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "recip"}
+EW_BINARY = {"add", "sub", "mul", "div"}
+
+
+@dataclass(frozen=True)
+class TOp:
+    """One tensor-IR instruction: ``out = kind(*ins, **attrs)``."""
+    kind: str
+    out: str
+    ins: tuple[str, ...]
+    attrs: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable single-line form."""
+        attrs = "".join(f", {k}={v!r}" for k, v in sorted(self.attrs.items()))
+        return f"{self.out} = {self.kind}({', '.join(self.ins)}{attrs})"
+
+
+@dataclass
+class TProgram:
+    """A linear tensor program.
+
+    ``inputs`` maps buffer name → ("node"|"edge", feature_name): how the
+    executor binds user arrays.  ``consts`` maps buffer name → float.
+    ``spaces`` records each buffer's space for validation and codegen.
+    """
+
+    name: str
+    ops: list[TOp] = field(default_factory=list)
+    inputs: dict[str, tuple[str, str]] = field(default_factory=dict)
+    consts: dict[str, float] = field(default_factory=dict)
+    spaces: dict[str, str] = field(default_factory=dict)
+    outputs: list[str] = field(default_factory=list)
+
+    def defined_by(self) -> dict[str, TOp]:
+        """Map from buffer name to the op that defines it."""
+        return {op.out: op for op in self.ops}
+
+    def all_buffers(self) -> set[str]:
+        """Every buffer name the program mentions."""
+        names = set(self.inputs) | set(self.consts) | {op.out for op in self.ops}
+        return names
+
+    def validate(self) -> None:
+        """Check single-assignment and that every read is defined."""
+        available = set(self.inputs) | set(self.consts)
+        for op in self.ops:
+            for name in op.ins:
+                if name == "__ones__":
+                    continue
+                if name not in available:
+                    raise ValueError(f"{self.name}: op {op.render()} reads undefined buffer {name!r}")
+            if op.out in available:
+                raise ValueError(f"{self.name}: buffer {op.out!r} redefined")
+            available.add(op.out)
+        for out in self.outputs:
+            if out not in available:
+                raise ValueError(f"{self.name}: output {out!r} never defined")
+
+    def render(self) -> str:
+        """Readable multi-line dump (inputs, consts, ops, outputs)."""
+        lines = [f"program {self.name}:"]
+        for buf, (kind, feat) in sorted(self.inputs.items()):
+            lines.append(f"  input {buf} : {kind}[{feat}]")
+        for buf, val in sorted(self.consts.items()):
+            lines.append(f"  const {buf} = {val}")
+        for op in self.ops:
+            lines.append(f"  {op.render()}")
+        lines.append(f"  return {', '.join(self.outputs)}")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""IR visualization: Graphviz dot output for vertex and tensor IR.
+
+``python -m repro.cli inspect --layer gcn`` prints textual dumps; these
+helpers produce ``dot`` source for rendering the same structures
+(``dot -Tpng``), color-coded by stage/space. No Graphviz dependency — the
+output is just a string.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Stage, VNode
+from repro.compiler.tir import TProgram
+
+__all__ = ["vertex_ir_to_dot", "tensor_ir_to_dot"]
+
+_STAGE_COLORS = {
+    Stage.SRC: "#93c5fd",  # blue: per-source values
+    Stage.DST: "#fcd34d",  # amber: per-destination values
+    Stage.EDGE: "#f9a8d4",  # pink: per-edge scalars
+    Stage.CONST: "#e5e7eb",  # gray
+}
+
+_SPACE_COLORS = {"node": "#93c5fd", "edge": "#f9a8d4", "scalar": "#e5e7eb"}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def vertex_ir_to_dot(root: VNode, name: str = "vertex_ir") -> str:
+    """Graphviz source for a traced vertex-IR DAG."""
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=BT;", "  node [style=filled, shape=box];"]
+    ids: dict[int, int] = {}
+    for i, node in enumerate(root.topo()):
+        ids[id(node)] = i
+        label = node.op
+        if node.name:
+            label += f" {node.name}"
+        if node.attrs:
+            label += " " + ",".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+        color = _STAGE_COLORS[node.stage]
+        lines.append(f'  n{i} [label="{_escape(label)}\\n[{node.stage.value}]", fillcolor="{color}"];')
+        for arg in node.args:
+            lines.append(f"  n{ids[id(arg)]} -> n{i};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tensor_ir_to_dot(prog: TProgram) -> str:
+    """Graphviz source for a lowered tensor program."""
+    lines = [f'digraph "{_escape(prog.name)}" {{', "  rankdir=BT;", "  node [style=filled, shape=box];"]
+    seen: set[str] = set()
+
+    def declare(buf: str) -> None:
+        if buf in seen or buf == "__ones__":
+            return
+        seen.add(buf)
+        space = prog.spaces.get(buf, "scalar")
+        shape = "ellipse" if buf in prog.inputs or buf in prog.consts else "box"
+        extra = ""
+        if buf in prog.inputs:
+            kind, feat = prog.inputs[buf]
+            extra = f"\\n{kind}[{feat}]"
+        elif buf in prog.consts:
+            extra = f"\\n= {prog.consts[buf]}"
+        lines.append(
+            f'  "{_escape(buf)}" [label="{_escape(buf)}{extra}", shape={shape}, '
+            f'fillcolor="{_SPACE_COLORS.get(space, "#e5e7eb")}"];'
+        )
+
+    for buf in list(prog.inputs) + list(prog.consts):
+        declare(buf)
+    for i, op in enumerate(prog.ops):
+        declare(op.out)
+        attrs = ",".join(f"{k}={v}" for k, v in sorted(op.attrs.items()))
+        op_label = op.kind + (f"\\n{attrs}" if attrs else "")
+        lines.append(f'  op{i} [label="{_escape(op_label)}", shape=oval, fillcolor="#ffffff"];')
+        for src in op.ins:
+            if src != "__ones__":
+                declare(src)
+                lines.append(f'  "{_escape(src)}" -> op{i};')
+        lines.append(f'  op{i} -> "{_escape(op.out)}";')
+    for out in prog.outputs:
+        lines.append(f'  "{_escape(out)}" [penwidth=3];')
+    lines.append("}")
+    return "\n".join(lines)

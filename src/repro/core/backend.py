@@ -1,0 +1,128 @@
+"""Backend interface and factory (paper §VI-1).
+
+Seastar scattered backend-specific code across DGL-Hack; STGraph instead
+"introduc[es] a dedicated backend interface within the framework to house
+callback functions, kernel wrappers, and any backend-specific functions",
+decoupled with the Factory pattern.  All framework↔backend interaction goes
+through a :class:`BackendInterface`; the bundled ``"repro"`` backend adapts
+the in-tree tensor engine, and registering another implementation (JAX,
+PyTorch, ...) requires no framework changes — which is what the ✓ in
+Table I's "Agnostic" column means for STGraph.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+__all__ = ["BackendInterface", "register_backend", "get_backend", "available_backends"]
+
+
+class BackendInterface(abc.ABC):
+    """What STGraph needs from a deep-learning backend."""
+
+    name: str = "abstract"
+
+    # -- tensor bridge ---------------------------------------------------
+    @abc.abstractmethod
+    def is_tensor(self, value: Any) -> bool:
+        """True if ``value`` is this backend's differentiable tensor type."""
+
+    @abc.abstractmethod
+    def to_array(self, tensor: Any) -> np.ndarray:
+        """Raw ndarray view of a backend tensor."""
+
+    @abc.abstractmethod
+    def from_array(self, array: np.ndarray, requires_grad: bool = False) -> Any:
+        """Wrap an ndarray as a backend tensor."""
+
+    # -- autodiff bridge ---------------------------------------------------
+    @abc.abstractmethod
+    def attach_tape_node(
+        self,
+        output_array: np.ndarray,
+        inputs: tuple[Any, ...],
+        backward_cb: Callable[[np.ndarray], tuple[np.ndarray | None, ...]],
+    ) -> Any:
+        """Create an output tensor whose backward invokes ``backward_cb``.
+
+        This is the single hook the executor uses to splice generated
+        backward kernels into the backend's reverse sweep.
+        """
+
+    # -- training bridge --------------------------------------------------
+    @abc.abstractmethod
+    def parameters_of(self, module: Any) -> Iterable[Any]:
+        """Trainable parameters of a backend module."""
+
+
+class ReproBackend(BackendInterface):
+    """Adapter for the in-tree autodiff tensor engine."""
+
+    name = "repro"
+
+    def is_tensor(self, value: Any) -> bool:
+        """True for the in-tree :class:`Tensor`."""
+        from repro.tensor.tensor import Tensor
+
+        return isinstance(value, Tensor)
+
+    def to_array(self, tensor: Any) -> np.ndarray:
+        """The tensor's ndarray view."""
+        return tensor.data
+
+    def from_array(self, array: np.ndarray, requires_grad: bool = False) -> Any:
+        """Wrap an ndarray as a :class:`Tensor`."""
+        from repro.tensor.tensor import Tensor
+
+        return Tensor(array, requires_grad=requires_grad)
+
+    def attach_tape_node(self, output_array, inputs, backward_cb):
+        """Create a Tensor whose tape node calls ``backward_cb``."""
+        from repro.tensor.tensor import Tensor
+
+        out = Tensor(output_array)
+
+        class _Node:
+            def __init__(self) -> None:
+                self.inputs = inputs
+
+            def backward(self, grad: np.ndarray):
+                return backward_cb(grad)
+
+        out._ctx = _Node()
+        return out
+
+    def parameters_of(self, module: Any):
+        """Delegate to ``module.parameters()``."""
+        return module.parameters()
+
+
+_REGISTRY: dict[str, Callable[[], BackendInterface]] = {}
+_INSTANCES: dict[str, BackendInterface] = {}
+
+
+def register_backend(name: str, factory: Callable[[], BackendInterface]) -> None:
+    """Register a backend factory under ``name`` (Factory pattern)."""
+    if name in _REGISTRY:
+        raise ValueError(f"backend {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str = "repro") -> BackendInterface:
+    """Instantiate (once) and return the named backend."""
+    if name not in _INSTANCES:
+        if name not in _REGISTRY:
+            raise KeyError(f"unknown backend {name!r}; available: {sorted(_REGISTRY)}")
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+register_backend("repro", ReproBackend)

@@ -1,0 +1,153 @@
+"""The Temporally-aware Executor (paper Figure 1/2, Algorithm 1).
+
+The executor sits between the model and the graph object:
+
+* **forward** (``begin_timestamp``) — positions the graph at ``t`` via
+  ``Get-Graph`` (Algorithm 2 for GPMA), pushes ``t`` onto the Graph Stack
+  for dynamic graphs, and prepares the :class:`GraphContext` kernels run
+  against; each aggregation then pushes its pruned saved-state onto the
+  State Stack.
+* **backward** — driven by the tensor engine's reverse sweep: the first
+  gradient arriving for timestamp ``t`` pops the Graph Stack, repositions
+  the graph via ``Get-Backward-Graph`` and rebuilds the context; each
+  aggregation pops its own State Stack entry.
+
+GNN processing time (kernel launches) is attributed to the ``"gnn"``
+profiler phase; everything the graph object does is attributed to
+``"graph_update"`` inside the graph implementations, giving Figure 9 its
+two-way split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.runtime import GraphContext
+from repro.core.stacks import GraphStack, StateStack
+from repro.device import current_device
+from repro.graph.base import STGraphBase
+
+__all__ = ["TemporalExecutor"]
+
+
+class TemporalExecutor:
+    """Orchestrates snapshots and saved state across a training sequence."""
+
+    def __init__(self, graph: STGraphBase) -> None:
+        self.graph = graph
+        self.state_stack = StateStack()
+        self.graph_stack = GraphStack()
+        self._fwd_ctx: GraphContext | None = None
+        self._fwd_t: int | None = None
+        self._bwd_ctx: GraphContext | None = None
+        self._bwd_t: int | None = None
+        self._static_ctx: GraphContext | None = None
+
+    # ------------------------------------------------------------------
+    # Forward side
+    # ------------------------------------------------------------------
+    def begin_timestamp(self, t: int) -> GraphContext:
+        """Get-Graph(G, t) + Graph Stack push; returns the kernel context."""
+        t = int(t)
+        if not self.graph.is_dynamic:
+            if self._static_ctx is None:
+                self.graph.get_graph(t)
+                self._static_ctx = GraphContext(self.graph)
+            self._fwd_t = t
+            self._fwd_ctx = self._static_ctx
+            return self._fwd_ctx
+        self.graph.get_graph(t)
+        self.graph_stack.push(t)
+        self._fwd_t = t
+        # Context preparation (CSR views, label permutations) is structural
+        # work — part of the snapshot cost Figure 9 bills to graph updates.
+        with current_device().profiler.phase("graph_update"):
+            self._fwd_ctx = GraphContext(self.graph)
+        # A fresh forward invalidates any stale backward context.
+        self._bwd_ctx = None
+        self._bwd_t = None
+        return self._fwd_ctx
+
+    def current_context(self) -> GraphContext:
+        """The context prepared by the last ``begin_timestamp``."""
+        if self._fwd_ctx is None:
+            raise RuntimeError("begin_timestamp() was never called")
+        return self._fwd_ctx
+
+    @property
+    def current_timestamp(self) -> int | None:
+        """The timestamp of the current forward position."""
+        return self._fwd_t
+
+    def end_sequence_forward(self) -> None:
+        """Hook at the end of a sequence's forward pass: lets GPMA cache the
+        snapshot so the next sequence starts with one update batch
+        (Algorithm 2 lines 1-5/10)."""
+        cache = getattr(self.graph, "cache_snapshot", None)
+        if cache is not None:
+            cache()
+
+    # ------------------------------------------------------------------
+    # Saved state
+    # ------------------------------------------------------------------
+    def push_state(self, saved: dict[str, np.ndarray], tag: str = "") -> int:
+        """Push one aggregation's pruned saved state for the current timestamp."""
+        assert self._fwd_t is not None, "push_state outside a timestamp"
+        return self.state_stack.push(self._fwd_t, saved, tag)
+
+    def pop_state(self, token: int) -> dict[str, np.ndarray]:
+        """Pop a saved-state entry by its token (LIFO-checked)."""
+        return self.state_stack.pop(token)
+
+    # ------------------------------------------------------------------
+    # Backward side
+    # ------------------------------------------------------------------
+    def backward_context(self, t: int) -> GraphContext:
+        """Context for a backward step at timestamp ``t``.
+
+        For dynamic graphs the first request for ``t`` pops the Graph Stack
+        (which must yield exactly ``t`` — LIFO) and calls
+        ``Get-Backward-Graph``; subsequent aggregations of the same
+        timestamp reuse the rebuilt context.
+        """
+        t = int(t)
+        if not self.graph.is_dynamic:
+            assert self._static_ctx is not None
+            return self._static_ctx
+        if self._bwd_t == t and self._bwd_ctx is not None:
+            return self._bwd_ctx
+        popped = self.graph_stack.pop()
+        if popped != t:
+            raise RuntimeError(
+                f"graph stack LIFO violation: popped timestamp {popped}, "
+                f"backward requested {t}"
+            )
+        self.graph.get_backward_graph(t)
+        with current_device().profiler.phase("graph_update"):
+            self._bwd_ctx = GraphContext(self.graph)
+        self._bwd_t = t
+        return self._bwd_ctx
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear stacks (between epochs / after an aborted sequence)."""
+        self.state_stack.clear()
+        self.graph_stack.clear()
+        self._bwd_ctx = None
+        self._bwd_t = None
+
+    def check_drained(self) -> None:
+        """Assert both stacks emptied — i.e. forward/backward were balanced."""
+        if not self.state_stack.is_empty:
+            raise RuntimeError(f"state stack not drained: {len(self.state_stack)} entries left")
+        if not self.graph_stack.is_empty:
+            raise RuntimeError(f"graph stack not drained: {len(self.graph_stack)} entries left")
+
+    def stats(self) -> dict[str, int]:
+        """Peak stack depths/bytes and push counts (diagnostics)."""
+        return {
+            "state_stack_peak_depth": self.state_stack.peak_depth,
+            "state_stack_peak_bytes": self.state_stack.peak_bytes,
+            "state_stack_pushes": self.state_stack.total_pushes,
+            "graph_stack_peak_depth": self.graph_stack.peak_depth,
+        }

@@ -1,0 +1,152 @@
+"""Wiring compiled vertex programs into the tensor engine's autodiff.
+
+:class:`_GraphAggregationTape` is the custom autograd node: its forward runs
+the generated forward kernel and pushes the *pruned* saved-state onto the
+executor's State Stack (instead of holding it in the tape, as every other op
+does); its backward pops the State Stack, asks the executor for the correct
+backward snapshot context (Graph Stack / Get-Backward-Graph), and runs the
+generated backward kernel.  This is the precise point where the paper's
+"temporally-aware executor" meets the deep-learning backend while staying
+backend-agnostic — the tape node only uses the generic tape protocol.
+
+:class:`VertexCentricLayer` is the base class for STGraph's GNN layers: it
+compiles the vertex program once per (function, options) signature and
+exposes ``aggregate`` to subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.compiler.program import VertexProgram, compile_vertex_program
+from repro.compiler.runtime import GraphContext
+from repro.core.executor import TemporalExecutor
+from repro.device import current_device
+from repro.tensor import nn
+from repro.tensor.tensor import Tensor, is_grad_enabled
+
+__all__ = ["VertexCentricLayer", "graph_aggregate"]
+
+
+class _GraphAggregationTape:
+    """Autograd tape node for one compiled aggregation at one timestamp.
+
+    Implements the context protocol ``Tensor.backward`` expects (``inputs``
+    and ``backward(grad)``), but manages its saved state through the
+    executor's stacks rather than tape-local references.
+    """
+
+    def __init__(
+        self,
+        program: VertexProgram,
+        executor: TemporalExecutor,
+        timestamp: int,
+        token: int,
+        tensor_slots: list[tuple[str, str]],
+        inputs: tuple[Tensor, ...],
+    ) -> None:
+        self.program = program
+        self.executor = executor
+        self.timestamp = timestamp
+        self.token = token
+        self.tensor_slots = tensor_slots  # (feature_name, "node" | "edge")
+        self.inputs = inputs
+
+    def backward(self, grad: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        device = current_device()
+        ctx = self.executor.backward_context(self.timestamp)
+        saved = self.executor.pop_state(self.token)
+        with device.profiler.phase("gnn"):
+            grads = self.program.backward(ctx, grad, saved)
+        return tuple(grads.get(name) for name, _kind in self.tensor_slots)
+
+
+def graph_aggregate(
+    program: VertexProgram,
+    executor: TemporalExecutor,
+    node_feats: Mapping[str, Tensor | np.ndarray],
+    edge_feats: Mapping[str, Tensor | np.ndarray] | None = None,
+) -> Tensor:
+    """Run a compiled aggregation at the executor's current timestamp.
+
+    Tensor-valued features participate in autodiff; ndarray-valued features
+    (degree norms etc.) are structural constants.
+    """
+    device = current_device()
+    ctx: GraphContext = executor.current_context()
+    timestamp = executor.current_timestamp
+    assert timestamp is not None
+
+    node_arrays: dict[str, np.ndarray] = {}
+    edge_arrays: dict[str, np.ndarray] = {}
+    tensor_slots: list[tuple[str, str]] = []
+    tensor_inputs: list[Tensor] = []
+    for name, value in node_feats.items():
+        if isinstance(value, Tensor):
+            node_arrays[name] = value.data
+            tensor_slots.append((name, "node"))
+            tensor_inputs.append(value)
+        else:
+            node_arrays[name] = np.asarray(value)
+    for name, value in (edge_feats or {}).items():
+        if isinstance(value, Tensor):
+            edge_arrays[name] = value.data
+            tensor_slots.append((name, "edge"))
+            tensor_inputs.append(value)
+        else:
+            edge_arrays[name] = np.asarray(value)
+
+    with device.profiler.phase("gnn"):
+        out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None)
+    out = Tensor(out_np)
+
+    if is_grad_enabled() and any(t.requires_grad or t._ctx is not None for t in tensor_inputs):
+        token = executor.push_state(saved, tag=program.name)
+        out._ctx = _GraphAggregationTape(
+            program, executor, timestamp, token, tensor_slots, tuple(tensor_inputs)
+        )
+    return out
+
+
+class VertexCentricLayer(nn.Module):
+    """Base class for STGraph GNN layers defined by a vertex program."""
+
+    def __init__(
+        self,
+        vertex_fn: Callable,
+        feature_widths: Mapping[str, str],
+        grad_features: set[str],
+        name: str,
+        fused: bool = True,
+        state_stack_opt: bool = True,
+    ) -> None:
+        super().__init__()
+        self.program = compile_vertex_program(
+            vertex_fn,
+            feature_widths=feature_widths,
+            grad_features=grad_features,
+            name=name,
+            fused=fused,
+            state_stack_opt=state_stack_opt,
+        )
+
+    def aggregate(
+        self,
+        executor: TemporalExecutor,
+        node_feats: Mapping[str, Tensor | np.ndarray],
+        edge_feats: Mapping[str, Tensor | np.ndarray] | None = None,
+    ) -> Tensor:
+        """Run this layer's compiled aggregation at the executor's current timestamp."""
+        return graph_aggregate(self.program, executor, node_feats, edge_feats)
+
+    @property
+    def generated_forward_source(self) -> str:
+        """Source of the generated forward kernel."""
+        return self.program.forward_source
+
+    @property
+    def generated_backward_source(self) -> str:
+        """Source of the generated backward kernel."""
+        return self.program.backward_source

@@ -1,0 +1,88 @@
+"""Edge-stream discretization into DTDG snapshots (paper §VII-B).
+
+"The datasets are preprocessed to create discrete-time snapshots.  The
+first half of the dataset is the first snapshot.  Then the window is moved
+to obtain a second snapshot such that the percent change between any two
+consecutive snapshots is always less than 10%."
+
+The window covers ``window_fraction`` of the stream (default one half) and
+slides by a step chosen so the symmetric difference between consecutive
+snapshot edge *sets* stays below ``percent_change`` of the previous
+snapshot's size.  Duplicate events inside a window collapse to one edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dtdg import DTDG
+from repro.graph.labels import encode_edges
+
+__all__ = ["discretize_edge_stream"]
+
+
+def discretize_edge_stream(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_nodes: int,
+    percent_change: float = 10.0,
+    window_fraction: float = 0.5,
+    max_snapshots: int | None = None,
+) -> DTDG:
+    """Slide a window over a chronological edge stream and emit snapshots.
+
+    ``percent_change`` bounds |Δ(S_t, S_{t+1})| / |S_t| · 100.  The slide
+    step starts at the naive estimate (each slid event adds ≤1 and removes
+    ≤1 edge) and halves until the realized change respects the bound —
+    duplicates inside windows make the naive estimate conservative already,
+    so this almost never iterates.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    n_events = len(src)
+    if n_events < 4:
+        raise ValueError("edge stream too short to discretize")
+    window = max(2, int(n_events * window_fraction))
+    keys = encode_edges(src, dst, num_nodes)
+
+    def window_keys(start: int) -> np.ndarray:
+        return np.unique(keys[start : start + window])
+
+    snapshots_keys = [window_keys(0)]
+    step = max(1, int(len(snapshots_keys[0]) * percent_change / 100.0 / 2.0))
+    start = 0
+    while start + step + window <= n_events:
+        prev = snapshots_keys[-1]
+        budget = percent_change / 100.0 * max(1, len(prev))
+
+        def realized(trial: int) -> tuple[int, np.ndarray]:
+            nxt = window_keys(start + trial)
+            changes = len(np.setdiff1d(nxt, prev, assume_unique=True)) + len(
+                np.setdiff1d(prev, nxt, assume_unique=True)
+            )
+            return changes, nxt
+
+        trial = step
+        changes, nxt = realized(trial)
+        # Duplicates inside windows make the slid-events estimate very
+        # conservative — grow the step until the realized change approaches
+        # (but never exceeds) the bound, so sweeping percent_change actually
+        # spreads the snapshots (Figure 8's x-axis).
+        while changes < 0.6 * budget and start + 2 * trial + window <= n_events:
+            c2, n2 = realized(2 * trial)
+            if c2 > budget:
+                break
+            trial, changes, nxt = 2 * trial, c2, n2
+        while changes > budget and trial > 1:
+            trial = max(1, trial // 2)
+            changes, nxt = realized(trial)
+        snapshots_keys.append(nxt)
+        start += trial
+        step = trial
+        if max_snapshots is not None and len(snapshots_keys) >= max_snapshots:
+            break
+
+    snapshot_edges = []
+    for k in snapshots_keys:
+        snapshot_edges.append((k // num_nodes, k % num_nodes))
+    return DTDG(snapshot_edges, num_nodes)

@@ -1,0 +1,98 @@
+"""Phase timing for the Figure 9 experiment.
+
+Figure 9 of the paper splits total DTDG processing time into *GNN processing*
+and *graph update* time.  :class:`Profiler` accumulates wall-clock time per
+named phase; the executor wraps kernel launches in the ``"gnn"`` phase and
+the GPMA/Naive snapshot machinery wraps updates in the ``"graph_update"``
+phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "Profiler"]
+
+
+class PhaseTimer:
+    """Accumulated wall-clock time and invocation count for one phase."""
+
+    __slots__ = ("name", "total_seconds", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.calls = 0
+
+    def add(self, seconds: float) -> None:
+        """Accumulate one timed interval."""
+        self.total_seconds += seconds
+        self.calls += 1
+
+
+class Profiler:
+    """Per-phase wall-clock accumulator.
+
+    Nested phases are attributed to the innermost phase only, so "graph
+    update" time inside a training step is not double counted as "gnn" time.
+    """
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseTimer] = {}
+        self._stack: list[tuple[str, float]] = []
+        self.enabled = True
+
+    def _timer(self, name: str) -> PhaseTimer:
+        timer = self._phases.get(name)
+        if timer is None:
+            timer = PhaseTimer(name)
+            self._phases[name] = timer
+        return timer
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block under ``name`` (nested time attributed innermost)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        # Pause the enclosing phase so nested time is attributed once.
+        if self._stack:
+            outer_name, outer_start = self._stack[-1]
+            self._timer(outer_name).total_seconds += start - outer_start
+        self._stack.append((name, start))
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            inner_name, inner_start = self._stack.pop()
+            timer = self._timer(inner_name)
+            timer.total_seconds += end - inner_start
+            timer.calls += 1
+            if self._stack:
+                outer_name, _ = self._stack[-1]
+                self._stack[-1] = (outer_name, end)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for a phase (0 if never entered)."""
+        timer = self._phases.get(name)
+        return timer.total_seconds if timer else 0.0
+
+    def calls(self, name: str) -> int:
+        """Number of completed intervals for a phase."""
+        timer = self._phases.get(name)
+        return timer.calls if timer else 0
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of total profiled time per phase (sums to 1.0)."""
+        total = sum(t.total_seconds for t in self._phases.values())
+        if total <= 0:
+            return {}
+        return {name: t.total_seconds / total for name, t in self._phases.items()}
+
+    def reset(self) -> None:
+        """Clear all phases."""
+        self._phases.clear()
+        self._stack.clear()

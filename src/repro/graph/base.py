@@ -1,0 +1,95 @@
+"""The ``STGraphBase`` graph abstraction (paper Figure 4).
+
+All graph kinds STGraph can train on present the same interface to the
+executor and kernels:
+
+1. **Forward and backward CSR** — the forward pass walks in-neighbors via
+   the reverse CSR, the backward pass walks out-neighbors via the direct CSR.
+2. **Vertex sorting** — ``node_ids`` in descending in-degree (forward) /
+   out-degree (backward) order (Figure 3).
+3. **Edge labelling** — both orientations share labels.
+4. **Graph properties** — node/edge counts and degree arrays.
+
+Temporal positioning (``get_graph`` / ``get_backward_graph``) implements the
+contract of Algorithms 1-2: after ``get_graph(t)`` the object exposes the
+snapshot at ``t``; ``get_backward_graph(t)`` repositions during the LIFO
+backward walk.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.graph.csr import CSR
+
+__all__ = ["STGraphBase"]
+
+
+class STGraphBase(abc.ABC):
+    """Abstract temporal-graph interface consumed by the executor."""
+
+    #: set by subclasses: "static" | "naive" | "gpma"
+    graph_type: str = "base"
+
+    def __init__(self, num_nodes: int, sort_by_degree: bool = True) -> None:
+        self.num_nodes = int(num_nodes)
+        self.sort_by_degree = bool(sort_by_degree)
+
+    # -- temporal positioning (Algorithm 1/2 contract) -------------------
+    @abc.abstractmethod
+    def get_graph(self, timestamp: int) -> "STGraphBase":
+        """Position at ``timestamp`` for a forward pass; returns ``self``."""
+
+    @abc.abstractmethod
+    def get_backward_graph(self, timestamp: int) -> "STGraphBase":
+        """Position at ``timestamp`` for the corresponding backward pass."""
+
+    # -- current-snapshot structure --------------------------------------
+    @abc.abstractmethod
+    def forward_csr(self) -> CSR:
+        """Reverse CSR (in-neighbors) of the current snapshot."""
+
+    @abc.abstractmethod
+    def backward_csr(self) -> CSR:
+        """Direct CSR (out-neighbors) of the current snapshot."""
+
+    @abc.abstractmethod
+    def in_degrees(self) -> np.ndarray:
+        """In-degree per vertex of the current snapshot (int64, length N)."""
+
+    @abc.abstractmethod
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per vertex of the current snapshot."""
+
+    # -- properties -------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """Edge count of the current snapshot."""
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether structure changes with time (drives Graph Stack usage)."""
+        return self.graph_type != "static"
+
+    # -- shared checks ------------------------------------------------------
+    def validate_label_consistency(self) -> None:
+        """Assert the forward/backward CSRs agree edge-by-edge.
+
+        For every edge (u → v) with label l in the backward CSR, the forward
+        CSR must contain (v ← u) with the same label l.
+        """
+        bwd, fwd = self.backward_csr(), self.forward_csr()
+        assert bwd.num_edges == fwd.num_edges
+        bwd_pairs = {}
+        for u in range(self.num_nodes):
+            for v, l in zip(bwd.neighbors(u), bwd.edge_ids(u)):
+                bwd_pairs[int(l)] = (int(u), int(v))
+        for v in range(self.num_nodes):
+            for u, l in zip(fwd.neighbors(v), fwd.edge_ids(v)):
+                assert bwd_pairs[int(l)] == (int(u), int(v)), (
+                    f"label {l} maps to {bwd_pairs[int(l)]} in bwd CSR "
+                    f"but ({u}, {v}) in fwd CSR"
+                )

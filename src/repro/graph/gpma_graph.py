@@ -1,0 +1,258 @@
+"""GPMAGraph: DTDG as a base graph + temporal updates in a PMA (paper §V-D).
+
+Snapshots are constructed *on demand* (Algorithm 2): the PMA holds the
+current snapshot's edge set as sorted ``src * N + dst`` keys with SPACE gaps;
+moving between timestamps applies batched edge insertions/deletions.  The
+snapshot cache avoids replaying a whole sequence of updates when training
+advances from one sequence to the next (Algorithm 2 lines 1-5 / 10).
+
+After every structural change the snapshot is **relabelled** (Algorithm 2
+line 8): labels are the ranks of the surviving keys, so the forward and
+backward CSR of the same snapshot always agree.  The forward (reverse) CSR
+is produced by Algorithm 3 — :func:`repro.graph.reverse.reverse_gpma_vectorized`
+run directly over the *gapped* PMA storage.
+
+All structural work (updates, relabelling, CSR builds) is attributed to the
+``"graph_update"`` profiler phase; Figure 9 plots its share of epoch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device import current_device
+from repro.graph.base import STGraphBase
+from repro.graph.csr import CSR
+from repro.graph.dtdg import DTDG
+from repro.graph.labels import decode_edges, encode_edges
+from repro.pma import PackedMemoryArray, SPACE_KEY
+
+__all__ = ["GPMAGraph"]
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+@dataclass
+class _CachedState:
+    """A saved PMA state (Algorithm 2's graph cache)."""
+
+    time: int
+    keys: np.ndarray
+    values: np.ndarray
+    counts: np.ndarray
+    n_items: int
+
+
+class GPMAGraph(STGraphBase):
+    """DTDG as base graph + PMA-backed updates; snapshots built on demand (Algorithm 2)."""
+    graph_type = "gpma"
+
+    def __init__(self, dtdg: DTDG, sort_by_degree: bool = True, enable_cache: bool = True) -> None:
+        super().__init__(dtdg.num_nodes, sort_by_degree)
+        self.dtdg = dtdg
+        self.enable_cache = enable_cache
+        profiler = current_device().profiler
+        with profiler.phase("preprocess"):
+            src, dst = dtdg.snapshot_edges(0)
+            keys = encode_edges(src, dst, dtdg.num_nodes)
+            self.pma = PackedMemoryArray(capacity=max(64, 2 * len(keys)))
+            self.pma.insert_batch(keys, keys)
+        self.curr_time = 0
+        self._cache: _CachedState | None = None
+        self._dirty = True
+        self._fwd: CSR | None = None
+        self._bwd: CSR | None = None
+        self._in_deg: np.ndarray | None = None
+        self._out_deg: np.ndarray | None = None
+        # Counters for the ablation benchmarks.
+        self.update_batches_applied = 0
+        self.cache_restores = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: temporal positioning
+    # ------------------------------------------------------------------
+    def get_graph(self, timestamp: int) -> "GPMAGraph":
+        """Get-Graph(G, t): apply update batches (with cache retrieval) to position at ``t``."""
+        with current_device().profiler.phase("graph_update"):
+            self._advance(int(timestamp))
+        return self
+
+    def get_backward_graph(self, timestamp: int) -> "GPMAGraph":
+        """Reverse update to ``timestamp``; the backward pass then reads the
+        out-CSR (the "graph has to be reversed" part is the forward CSR,
+        already produced by Algorithm 3)."""
+        with current_device().profiler.phase("graph_update"):
+            self._advance(int(timestamp))
+        return self
+
+    def cache_snapshot(self) -> None:
+        """Algorithm 2 line 10: save the current PMA state.
+
+        The executor calls this at the end of a sequence's forward pass so
+        that, after the backward pass rewinds the PMA to the sequence start,
+        the next sequence resumes from here with a single update batch.
+        """
+        if not self.enable_cache:
+            return
+        with current_device().profiler.phase("graph_update"):
+            self._cache = _CachedState(
+                time=self.curr_time,
+                keys=self.pma.keys.copy(),
+                values=self.pma.values.copy(),
+                counts=self.pma.segment_counts(),
+                n_items=self.pma.n_items,
+            )
+
+    def _restore_cache(self) -> None:
+        assert self._cache is not None
+        cache = self._cache
+        if cache.keys.shape != self.pma.keys.shape:
+            # Capacity changed since the cache was taken; rebuild geometry.
+            self.pma._alloc_arrays(len(cache.keys))
+        self.pma.keys[...] = cache.keys
+        self.pma.values[...] = cache.values
+        self.pma._counts[...] = cache.counts
+        self.pma.n_items = cache.n_items
+        self.pma._refresh_seg_min()
+        self.curr_time = cache.time
+        self.cache_restores += 1
+
+    def _advance(self, t: int) -> None:
+        if not (0 <= t < self.dtdg.num_timestamps):
+            raise IndexError(f"timestamp {t} out of range [0, {self.dtdg.num_timestamps})")
+        if t == self.curr_time:
+            return
+        # Algorithm 2 lines 1-5: retrieving the cached graph is worthwhile
+        # when it is a closer starting point than the current position.
+        if (
+            self.enable_cache
+            and self._cache is not None
+            and self._cache.time <= t
+            and abs(t - self._cache.time) < abs(t - self.curr_time)
+        ):
+            self._restore_cache()
+        while self.curr_time < t:
+            self._apply_update(self.dtdg.updates[self.curr_time + 1], forward=True)
+            self.curr_time += 1
+        while self.curr_time > t:
+            self._apply_update(self.dtdg.updates[self.curr_time], forward=False)
+            self.curr_time -= 1
+        self._dirty = True
+
+    def _apply_update(self, update, forward: bool) -> None:
+        """One ``edge_update_t`` batch (Algorithm 2 line 7)."""
+        upd = update if forward else update.reversed()
+        if len(upd.del_src):
+            self.pma.delete_batch(encode_edges(upd.del_src, upd.del_dst, self.num_nodes))
+        if len(upd.add_src):
+            keys = encode_edges(upd.add_src, upd.add_dst, self.num_nodes)
+            self.pma.insert_batch(keys, keys)
+        self.update_batches_applied += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot materialization (relabel + Algorithm 3)
+    # ------------------------------------------------------------------
+    def gapped_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The gapped CSR view over the raw PMA storage.
+
+        Returns ``(row_offset, col_indices, eids)`` where ``row_offset[i]``
+        indexes the first slot that could hold an edge of source ``i`` and
+        gap slots carry ``SPACE`` — the exact input shape of Algorithm 3.
+        """
+        keys, _ = self.pma.gapped_arrays()
+        valid = keys != SPACE_KEY
+        # Backward-fill gaps with the next valid key so the slot array is
+        # non-decreasing and boundaries can be found with searchsorted.
+        filled = np.where(valid, keys, _INT64_MAX)
+        backfilled = np.minimum.accumulate(filled[::-1])[::-1]
+        boundaries = np.arange(self.num_nodes + 1, dtype=np.int64) * np.int64(self.num_nodes)
+        row_offset = np.searchsorted(backfilled, boundaries, side="left").astype(np.int64)
+        cols = np.where(valid, keys - (keys // self.num_nodes) * self.num_nodes, SPACE_KEY)
+        # Relabel (Algorithm 2 line 8): label = rank among surviving edges.
+        eids = np.full(len(keys), -1, dtype=np.int64)
+        eids[valid] = np.arange(int(valid.sum()), dtype=np.int64)
+        return row_offset, cols, eids
+
+    def _rebuild(self) -> None:
+        from repro.graph.reverse import reverse_gpma_vectorized
+
+        with current_device().profiler.phase("graph_update"):
+            alloc = current_device().alloc
+            keys, _ = self.pma.export_items()
+            src, dst = decode_edges(keys, self.num_nodes)
+            num_edges = len(keys)
+            labels = np.arange(num_edges, dtype=np.int64)
+
+            out_deg = np.bincount(src, minlength=self.num_nodes).astype(np.int64)
+            in_deg = np.bincount(dst, minlength=self.num_nodes).astype(np.int64)
+
+            # Backward (out-)CSR falls straight out of the sorted keys.
+            bwd_row = alloc.zeros(self.num_nodes + 1, dtype=np.int64, tag="gpma.bwd.row")
+            np.cumsum(out_deg, out=bwd_row[1:])
+            bwd_col = alloc.adopt(dst, tag="gpma.bwd.col")
+            bwd_eid = alloc.adopt(labels.copy(), tag="gpma.bwd.eid")
+            bwd_ids = (
+                np.argsort(-out_deg, kind="stable").astype(np.int64)
+                if self.sort_by_degree
+                else np.arange(self.num_nodes, dtype=np.int64)
+            )
+            self._bwd = CSR(bwd_row, bwd_col, bwd_eid, alloc.adopt(bwd_ids, tag="gpma.bwd.ids"))
+
+            # Forward (reverse) CSR via Algorithm 3 over the gapped storage.
+            g_row, g_col, g_eid = self.gapped_csr()
+            f_row, f_col, f_eid = reverse_gpma_vectorized(g_row, g_col, g_eid, self.num_nodes)
+            fwd_ids = (
+                np.argsort(-in_deg, kind="stable").astype(np.int64)
+                if self.sort_by_degree
+                else np.arange(self.num_nodes, dtype=np.int64)
+            )
+            self._fwd = CSR(
+                alloc.adopt(f_row, tag="gpma.fwd.row"),
+                alloc.adopt(f_col, tag="gpma.fwd.col"),
+                alloc.adopt(f_eid, tag="gpma.fwd.eid"),
+                alloc.adopt(fwd_ids, tag="gpma.fwd.ids"),
+            )
+            self._in_deg = alloc.adopt(in_deg, tag="gpma.in_deg")
+            self._out_deg = alloc.adopt(out_deg, tag="gpma.out_deg")
+            self._dirty = False
+
+    def _ensure_built(self) -> None:
+        if self._dirty or self._fwd is None:
+            self._rebuild()
+
+    def forward_csr(self) -> CSR:
+        """Current snapshot's reverse CSR (Algorithm 3 over the gapped storage)."""
+        self._ensure_built()
+        return self._fwd
+
+    def backward_csr(self) -> CSR:
+        """Current snapshot's direct CSR (straight from the sorted PMA keys)."""
+        self._ensure_built()
+        return self._bwd
+
+    def in_degrees(self) -> np.ndarray:
+        """Current snapshot's in-degrees."""
+        self._ensure_built()
+        return self._in_deg
+
+    def out_degrees(self) -> np.ndarray:
+        """Current snapshot's out-degrees."""
+        self._ensure_built()
+        return self._out_deg
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the snapshot the PMA currently holds."""
+        return self.pma.n_items
+
+    def storage_bytes(self) -> int:
+        """Persistent PMA storage (snapshot CSRs are transient)."""
+        return int(self.pma.keys.nbytes + self.pma.values.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GPMAGraph(N={self.num_nodes}, t={self.curr_time}, "
+            f"E={self.num_edges}, pma_capacity={self.pma.capacity})"
+        )

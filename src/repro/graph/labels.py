@@ -1,0 +1,49 @@
+"""Edge labelling.
+
+Paper §V-B requirement 3: "The CSRs used during forward and backward
+propagation need to share the same edge labels.  This ensures that the same
+edge property is accessed during both passes for a given edge."
+
+The canonical label of an edge is its rank in the lexicographic order of
+``(src, dst)`` pairs — equivalently the rank of the encoded key
+``src * N + dst``.  Both CSR orientations are built from the same labelled
+edge list, and GPMAGraph relabels after every structural update
+(Algorithm 2, line 8) because insertions/deletions shift ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["canonical_edge_labels", "encode_edges", "decode_edges", "relabel_after_update"]
+
+
+def encode_edges(src: np.ndarray, dst: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Encode ``(src, dst)`` pairs as sortable int64 keys."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if len(src) and (src.max(initial=0) >= num_nodes or dst.max(initial=0) >= num_nodes):
+        raise ValueError("vertex id out of range")
+    if len(src) and (src.min(initial=0) < 0 or dst.min(initial=0) < 0):
+        raise ValueError("negative vertex id")
+    return src * np.int64(num_nodes) + dst
+
+
+def decode_edges(keys: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_edges`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys // num_nodes, keys % num_nodes
+
+
+def canonical_edge_labels(src: np.ndarray, dst: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Label each edge with its rank in (src, dst) lexicographic order."""
+    keys = encode_edges(src, dst, num_nodes)
+    ranks = np.empty(len(keys), dtype=np.int64)
+    ranks[np.argsort(keys, kind="stable")] = np.arange(len(keys), dtype=np.int64)
+    return ranks
+
+
+def relabel_after_update(sorted_keys: np.ndarray) -> np.ndarray:
+    """Fresh labels 0..E-1 for a snapshot's sorted edge keys (GPMA path:
+    the PMA exports keys already sorted, so labels are just positions)."""
+    return np.arange(len(sorted_keys), dtype=np.int64)

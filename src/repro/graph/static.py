@@ -1,0 +1,96 @@
+"""Static-temporal graph: fixed structure, time-varying features.
+
+Structure never changes (Definition II.1), so both CSR orientations, degree
+arrays, and the degree-sorted ``node_ids`` are built once ahead of training —
+the pre-processing Seastar relies on for its performance.
+``get_graph``/``get_backward_graph`` are identity operations and the Graph
+Stack is never used for this type (Algorithm 1, line 3 comment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device import current_device
+from repro.graph.base import STGraphBase
+from repro.graph.csr import CSR, csr_from_edges
+
+__all__ = ["StaticGraph"]
+
+
+class StaticGraph(STGraphBase):
+    """Fixed-structure graph: both CSRs prebuilt, identity temporal ops."""
+    graph_type = "static"
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        sort_by_degree: bool = True,
+    ) -> None:
+        super().__init__(num_nodes, sort_by_degree)
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise ValueError("src/dst length mismatch")
+        self._bwd, self._fwd = csr_from_edges(src, dst, num_nodes, sort_by_degree)
+        alloc = current_device().alloc
+        self._in_deg = alloc.adopt(
+            np.bincount(dst, minlength=num_nodes).astype(np.int64), tag="graph.in_deg"
+        )
+        self._out_deg = alloc.adopt(
+            np.bincount(src, minlength=num_nodes).astype(np.int64), tag="graph.out_deg"
+        )
+
+    @classmethod
+    def from_networkx(cls, graph, sort_by_degree: bool = True) -> "StaticGraph":
+        """Build from a ``networkx`` directed graph with integer node ids."""
+        edges = np.asarray(list(graph.edges()), dtype=np.int64)
+        if len(edges) == 0:
+            edges = np.empty((0, 2), dtype=np.int64)
+        return cls(edges[:, 0], edges[:, 1], graph.number_of_nodes(), sort_by_degree)
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (edge attr ``label`` = edge id)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        bwd = self._bwd
+        for u in range(self.num_nodes):
+            for v, l in zip(bwd.neighbors(u), bwd.edge_ids(u)):
+                g.add_edge(int(u), int(v), label=int(l))
+        return g
+
+    def get_graph(self, timestamp: int) -> "StaticGraph":
+        """Identity: structure never changes."""
+        return self
+
+    def get_backward_graph(self, timestamp: int) -> "StaticGraph":
+        """Identity: structure never changes."""
+        return self
+
+    def forward_csr(self) -> CSR:
+        """Reverse CSR (in-neighbors), built at construction."""
+        return self._fwd
+
+    def backward_csr(self) -> CSR:
+        """Direct CSR (out-neighbors), built at construction."""
+        return self._bwd
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degree."""
+        return self._in_deg
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degree."""
+        return self._out_deg
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count (constant over time)."""
+        return self._bwd.num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticGraph(N={self.num_nodes}, E={self.num_edges})"

@@ -1,0 +1,43 @@
+"""STGraph's GNN / TGNN layer APIs (paper §VI-3).
+
+Spatial layers are vertex-centric programs compiled by the Seastar core;
+temporal models compose them with recurrent cells from the tensor engine,
+"using GNN layers as building blocks" exactly as PyG-T structures its
+recurrent layers (paper §V-A.1):
+
+* :class:`GCNConv`, :class:`GATConv`, :class:`SAGEConv` — spatial layers;
+* :class:`TGCN` — the benchmark model (GCN gates + GRU update);
+* :class:`GConvGRU`, :class:`GConvLSTM` — Chebyshev-1 convolutional
+  recurrences;
+* :class:`A3TGCN` — attention over a window of TGCN hidden states;
+* :class:`EvolveGCNO` — weight-evolving GCN (extension).
+"""
+
+from repro.nn.gcn import GCNConv
+from repro.nn.gat import GATConv
+from repro.nn.sage import SAGEConv
+from repro.nn.cheb import ChebConv
+from repro.nn.rgcn import RGCNConv
+from repro.nn.tgcn import TGCN
+from repro.nn.gconv_gru import GConvGRU
+from repro.nn.gconv_lstm import GConvLSTM
+from repro.nn.a3tgcn import A3TGCN
+from repro.nn.evolve_gcn import EvolveGCNO
+from repro.nn.dcrnn import DConv, DCRNN
+from repro.nn.stack import GNNStack
+
+__all__ = [
+    "GNNStack",
+    "GCNConv",
+    "GATConv",
+    "SAGEConv",
+    "ChebConv",
+    "RGCNConv",
+    "TGCN",
+    "GConvGRU",
+    "GConvLSTM",
+    "A3TGCN",
+    "EvolveGCNO",
+    "DConv",
+    "DCRNN",
+]

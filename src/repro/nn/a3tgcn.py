@@ -1,0 +1,44 @@
+"""A3TGCN (Bai et al.): attention over a window of TGCN hidden states.
+
+Runs a TGCN cell across ``periods`` consecutive feature slices of the same
+timestamp window and combines the per-period hidden states with a learned
+softmax attention — the "attention-based mechanism" family of temporal
+models the paper's background section describes.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import TemporalExecutor
+from repro.nn.tgcn import TGCN
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.nn import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["A3TGCN"]
+
+
+class A3TGCN(Module):
+    """TGCN over a window of periods combined by learned softmax attention."""
+    def __init__(self, in_features: int, out_features: int, periods: int, **conv_kwargs) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.periods = periods
+        self.tgcn = TGCN(in_features, out_features, **conv_kwargs)
+        self.attention = Parameter(init.uniform((periods,), -0.5, 0.5))
+
+    def forward(self, executor: TemporalExecutor, xs: list[Tensor], h: Tensor | None = None) -> Tensor:
+        """``xs`` is a list of ``periods`` feature matrices for the current
+        window (all under the executor's current snapshot)."""
+        if len(xs) != self.periods:
+            raise ValueError(f"expected {self.periods} period slices, got {len(xs)}")
+        weights = F.softmax(self.attention, axis=0)
+        out = None
+        state = h
+        for p, x in enumerate(xs):
+            state = self.tgcn(executor, x, state)
+            w_p = F.getitem(weights, slice(p, p + 1))
+            contrib = F.mul(state, w_p)
+            out = contrib if out is None else F.add(out, contrib)
+        return out

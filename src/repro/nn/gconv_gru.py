@@ -1,0 +1,47 @@
+"""GConvGRU (Seo et al.): GRU whose input/state maps are graph convolutions.
+
+Each gate applies one convolution to the input and one to the hidden state
+(Chebyshev K=1 reduces to GCN-style propagation)::
+
+    z  = σ(conv_xz(X) + conv_hz(H))
+    r  = σ(conv_xr(X) + conv_hr(H))
+    h̃  = tanh(conv_xh(X) + conv_hh(r⊙H))
+    H' = z⊙H + (1−z)⊙h̃
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import TemporalExecutor
+from repro.nn.gcn import GCNConv
+from repro.tensor import functional as F
+from repro.tensor.nn import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["GConvGRU"]
+
+
+class GConvGRU(Module):
+    """GRU whose input/state maps are graph convolutions (see module docstring)."""
+    def __init__(self, in_features: int, out_features: int, **conv_kwargs) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.conv_xz = GCNConv(in_features, out_features, **conv_kwargs)
+        self.conv_hz = GCNConv(out_features, out_features, bias=False, **conv_kwargs)
+        self.conv_xr = GCNConv(in_features, out_features, **conv_kwargs)
+        self.conv_hr = GCNConv(out_features, out_features, bias=False, **conv_kwargs)
+        self.conv_xh = GCNConv(in_features, out_features, **conv_kwargs)
+        self.conv_hh = GCNConv(out_features, out_features, bias=False, **conv_kwargs)
+
+    def initial_state(self, num_nodes: int) -> Tensor:
+        """Zero hidden state."""
+        return F.zeros((num_nodes, self.out_features))
+
+    def forward(self, executor: TemporalExecutor, x: Tensor, h: Tensor | None = None) -> Tensor:
+        """One recurrent step at the executor's current timestamp."""
+        if h is None:
+            h = self.initial_state(x.shape[0])
+        z = F.sigmoid(F.add(self.conv_xz(executor, x), self.conv_hz(executor, h)))
+        r = F.sigmoid(F.add(self.conv_xr(executor, x), self.conv_hr(executor, h)))
+        h_tilde = F.tanh(F.add(self.conv_xh(executor, x), self.conv_hh(executor, F.mul(r, h))))
+        return F.add(F.mul(z, h), F.mul(F.sub(1.0, z), h_tilde))

@@ -1,0 +1,47 @@
+"""GConvLSTM (Seo et al.): LSTM with graph-convolutional gate maps."""
+
+from __future__ import annotations
+
+from repro.core.executor import TemporalExecutor
+from repro.nn.gcn import GCNConv
+from repro.tensor import functional as F
+from repro.tensor.nn import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["GConvLSTM"]
+
+
+class GConvLSTM(Module):
+    """LSTM with graph-convolutional gate maps."""
+    def __init__(self, in_features: int, out_features: int, **conv_kwargs) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        for gate in ("i", "f", "c", "o"):
+            setattr(self, f"conv_x{gate}", GCNConv(in_features, out_features, **conv_kwargs))
+            setattr(self, f"conv_h{gate}", GCNConv(out_features, out_features, bias=False, **conv_kwargs))
+
+    def initial_state(self, num_nodes: int) -> tuple[Tensor, Tensor]:
+        """Zero (hidden, cell) states."""
+        return (
+            F.zeros((num_nodes, self.out_features)),
+            F.zeros((num_nodes, self.out_features)),
+        )
+
+    def forward(
+        self,
+        executor: TemporalExecutor,
+        x: Tensor,
+        h: Tensor | None = None,
+        c: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """One recurrent step; returns ``(h, c)``."""
+        if h is None or c is None:
+            h, c = self.initial_state(x.shape[0])
+        i = F.sigmoid(F.add(self.conv_xi(executor, x), self.conv_hi(executor, h)))
+        f = F.sigmoid(F.add(self.conv_xf(executor, x), self.conv_hf(executor, h)))
+        g = F.tanh(F.add(self.conv_xc(executor, x), self.conv_hc(executor, h)))
+        o = F.sigmoid(F.add(self.conv_xo(executor, x), self.conv_ho(executor, h)))
+        c_next = F.add(F.mul(f, c), F.mul(i, g))
+        h_next = F.mul(o, F.tanh(c_next))
+        return h_next, c_next

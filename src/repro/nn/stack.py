@@ -1,0 +1,58 @@
+"""Multi-layer static-GNN stacks (the plain-GNN side of Table I).
+
+STGraph is "capable of learning from static graphs" like its predecessors;
+:class:`GNNStack` composes any of the library's spatial layers into an
+N-layer model with activations and dropout for standard node
+classification — the non-temporal workload every GNN framework supports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.executor import TemporalExecutor
+from repro.nn.gcn import GCNConv
+from repro.tensor import functional as F
+from repro.tensor.nn import Module, ModuleList
+from repro.tensor.tensor import Tensor
+
+__all__ = ["GNNStack"]
+
+
+class GNNStack(Module):
+    """``num_layers`` spatial layers with relu + dropout in between.
+
+    ``layer_factory(in_dim, out_dim)`` builds each layer (defaults to
+    :class:`GCNConv`); the last layer produces ``out_features`` logits with
+    no activation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        num_layers: int = 2,
+        dropout: float = 0.0,
+        layer_factory: Callable[[int, int], Module] | None = None,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        super().__init__()
+        factory = layer_factory or (lambda i, o: GCNConv(i, o))
+        dims = [in_features] + [hidden] * (num_layers - 1) + [out_features]
+        self.layers = ModuleList([factory(dims[i], dims[i + 1]) for i in range(num_layers)])
+        self.dropout = dropout
+        self._dropout_seed = 0
+
+    def forward(self, executor: TemporalExecutor, x: Tensor) -> Tensor:
+        """Apply every layer with relu+dropout between (logits at the end)."""
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(executor, x)
+            if i != last:
+                x = F.relu(x)
+                if self.dropout > 0:
+                    self._dropout_seed += 1
+                    x = F.dropout(x, self.dropout, training=self.training, seed=self._dropout_seed)
+        return x

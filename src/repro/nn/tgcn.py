@@ -1,0 +1,54 @@
+"""TGCN: Temporal Graph Convolutional Network (Zhao et al.).
+
+The model both the paper and this reproduction benchmark with ("the default
+configuration of TGCN since it serves as a basic TGNN model with both
+temporal and GNN components").  Follows the PyG-T structure: one GCN
+convolution per GRU gate, concatenated with the hidden state through a
+linear map::
+
+    z  = σ(W_z·[gcn_z(X) ‖ H])
+    r  = σ(W_r·[gcn_r(X) ‖ H])
+    h̃  = tanh(W_h·[gcn_h(X) ‖ r⊙H])
+    H' = z⊙H + (1−z)⊙h̃
+
+The hidden state threads through the tensor-engine tape, so backward over a
+sequence is true BPTT; the graph aggregations inside each gate store their
+(pruned) state on the executor's State Stack per timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import TemporalExecutor
+from repro.nn.gcn import GCNConv
+from repro.tensor import functional as F
+from repro.tensor.nn import Linear, Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["TGCN"]
+
+
+class TGCN(Module):
+    """The benchmark TGNN: one GCN per GRU gate (see module docstring)."""
+    def __init__(self, in_features: int, out_features: int, add_self_loops: bool = True, **conv_kwargs) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.conv_z = GCNConv(in_features, out_features, add_self_loops=add_self_loops, **conv_kwargs)
+        self.lin_z = Linear(2 * out_features, out_features)
+        self.conv_r = GCNConv(in_features, out_features, add_self_loops=add_self_loops, **conv_kwargs)
+        self.lin_r = Linear(2 * out_features, out_features)
+        self.conv_h = GCNConv(in_features, out_features, add_self_loops=add_self_loops, **conv_kwargs)
+        self.lin_h = Linear(2 * out_features, out_features)
+
+    def initial_state(self, num_nodes: int) -> Tensor:
+        """Zero hidden state for ``num_nodes`` vertices."""
+        return F.zeros((num_nodes, self.out_features))
+
+    def forward(self, executor: TemporalExecutor, x: Tensor, h: Tensor | None = None) -> Tensor:
+        """One recurrent step at the executor's current timestamp."""
+        if h is None:
+            h = self.initial_state(x.shape[0])
+        z = F.sigmoid(self.lin_z(F.concat([self.conv_z(executor, x), h], axis=1)))
+        r = F.sigmoid(self.lin_r(F.concat([self.conv_r(executor, x), h], axis=1)))
+        h_tilde = F.tanh(self.lin_h(F.concat([self.conv_h(executor, x), F.mul(r, h)], axis=1)))
+        return F.add(F.mul(z, h), F.mul(F.sub(1.0, z), h_tilde))

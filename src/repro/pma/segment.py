@@ -1,0 +1,67 @@
+"""Segment geometry and density thresholds for the PMA.
+
+A PMA of capacity ``C`` is split into ``C / seg_size`` equal segments, the
+leaves of an implicit binary tree.  A *window* at depth ``d`` is an aligned
+group of ``2**d`` segments.  Density bounds interpolate between leaf and root
+(the classic Bender/Hu parameters, also used by GPMA):
+
+* upper: ``tau_leaf`` (0.92) at leaves down to ``tau_root`` (0.70) at the root;
+* lower: ``rho_leaf`` (0.08) at leaves up to ``rho_root`` (0.30) at the root.
+
+An insert that overflows a leaf walks up the tree until it finds a window
+whose post-insert density is within the upper bound, then redistributes the
+window's items evenly; symmetric for deletes and the lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DensityBounds", "segment_size_for_capacity", "window_bounds"]
+
+TAU_LEAF = 0.92
+TAU_ROOT = 0.70
+RHO_LEAF = 0.08
+RHO_ROOT = 0.30
+MIN_CAPACITY = 64
+
+
+def segment_size_for_capacity(capacity: int) -> int:
+    """Segment size ~= Θ(log capacity), rounded to a power of two ≥ 8."""
+    if capacity < MIN_CAPACITY:
+        raise ValueError(f"capacity {capacity} below minimum {MIN_CAPACITY}")
+    target = max(8, 2 * int(math.log2(capacity)))
+    return 1 << int(math.ceil(math.log2(target)))
+
+
+@dataclass(frozen=True)
+class DensityBounds:
+    """Density thresholds for a PMA with ``num_segments`` leaves."""
+
+    num_segments: int
+
+    @property
+    def height(self) -> int:
+        """Depth of the implicit rebalance tree (log2 of segment count)."""
+        return max(1, int(math.log2(self.num_segments))) if self.num_segments > 1 else 1
+
+    def upper(self, depth: int) -> float:
+        """Max density for a window at ``depth`` (0 = leaf, height = root)."""
+        frac = min(1.0, depth / self.height)
+        return TAU_LEAF - (TAU_LEAF - TAU_ROOT) * frac
+
+    def lower(self, depth: int) -> float:
+        """Min density for a window at ``depth``."""
+        frac = min(1.0, depth / self.height)
+        return RHO_LEAF + (RHO_ROOT - RHO_LEAF) * frac
+
+
+def window_bounds(segment: int, depth: int, num_segments: int) -> tuple[int, int]:
+    """The aligned window of ``2**depth`` segments containing ``segment``.
+
+    Returns ``(first_segment, last_segment_exclusive)`` clipped to the array.
+    """
+    width = 1 << depth
+    first = (segment // width) * width
+    return first, min(first + width, num_segments)

@@ -1,0 +1,32 @@
+"""A reverse-mode autodiff tensor engine over NumPy.
+
+This package is the reproduction's substitute for the PyTorch backend the
+paper builds on.  It provides:
+
+* :class:`Tensor` — an ndarray wrapper carrying a ``grad`` buffer and a
+  pointer into the autodiff tape; ``backward()`` runs a topological reverse
+  sweep.
+* ``repro.tensor.functional`` — differentiable ops (elementwise, matmul,
+  gather/scatter, reductions, activations) and the two loss criteria the
+  paper benchmarks with (MSE, BCE-with-logits).
+* ``repro.tensor.nn`` — ``Module``/``Parameter`` plus the building blocks
+  TGNN models need (``Linear``, ``GRUCell``, ``LSTMCell``).
+* ``repro.tensor.optim`` — SGD/Adam/RMSprop.
+
+Crucially for the paper's memory experiments, the engine reproduces the
+backend behaviour STGraph's State Stack optimizes against: every op *saves
+the tensors its backward needs* and keeps them resident until ``backward()``
+runs, so an edge-parallel baseline retains its ``E×F`` per-edge intermediates
+across a whole training sequence, exactly as PyG-T does on the GPU.
+
+All tensor storage is registered with the active simulated device
+(:mod:`repro.device`), so peak-memory comparisons are measured, not modeled.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor import functional
+from repro.tensor import init
+from repro.tensor import nn
+from repro.tensor import optim
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "functional", "init", "nn", "optim"]

@@ -1,0 +1,55 @@
+"""Parameter initializers (seedable, Glorot/Kaiming/uniform)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["set_seed", "glorot_uniform", "kaiming_uniform", "uniform", "zeros", "ones", "normal"]
+
+_RNG = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Re-seed the global initializer RNG (used by benchmarks for parity
+    between STGraph and the baseline: both models draw the same weights)."""
+    global _RNG
+    _RNG = np.random.default_rng(seed)
+
+
+def uniform(shape: tuple[int, ...], lo: float = -0.1, hi: float = 0.1, requires_grad: bool = True) -> Tensor:
+    """Uniform values in [lo, hi]."""
+    return Tensor(_RNG.uniform(lo, hi, size=shape).astype(np.float32), requires_grad=requires_grad)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.01, requires_grad: bool = True) -> Tensor:
+    """Zero-mean Gaussian values with the given std."""
+    return Tensor((_RNG.standard_normal(shape) * std).astype(np.float32), requires_grad=requires_grad)
+
+
+def glorot_uniform(shape: tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    """Glorot/Xavier uniform — the initializer GCN-style layers use."""
+    fan_in = shape[0] if len(shape) > 0 else 1
+    fan_out = shape[1] if len(shape) > 1 else fan_in
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(shape, -bound, bound, requires_grad=requires_grad)
+
+
+def kaiming_uniform(shape: tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    """Kaiming/He uniform (fan-in scaled), for ReLU stacks."""
+    fan_in = shape[0] if len(shape) > 0 else 1
+    bound = math.sqrt(3.0 / fan_in) if fan_in > 0 else 0.0
+    return uniform(shape, -bound, bound, requires_grad=requires_grad)
+
+
+def zeros(shape: tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    """Zero-initialized parameter tensor."""
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: tuple[int, ...], requires_grad: bool = True) -> Tensor:
+    """One-initialized parameter tensor."""
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)

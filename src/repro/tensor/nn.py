@@ -1,0 +1,251 @@
+"""Neural-network modules: ``Module``/``Parameter`` and recurrent cells.
+
+The paper composes TGNN models from a GNN layer (spatial) and an RNN variant
+(temporal): "temporal models are built using GNN layers as building blocks".
+The recurrent cells here (``GRUCell``, ``LSTMCell``) are the temporal halves;
+the spatial halves live in :mod:`repro.nn` (vertex-centric) and
+:mod:`repro.baselines.pygt` (edge-parallel).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Embedding",
+    "GRUCell",
+    "LSTMCell",
+    "Sequential",
+    "ModuleList",
+]
+
+
+class Parameter(Tensor):
+    """A leaf tensor registered by :class:`Module`."""
+
+    def __init__(self, data: np.ndarray | Tensor) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True)
+
+
+class Module:
+    """Base class with parameter registration and traversal."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All trainable parameters, depth-first."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """(dotted-path, parameter) pairs, depth-first."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every registered submodule."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.grad = None
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        return self.train(False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (strict names/shapes)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
+            p.data[...] = state[name]
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.numel() for p in self.parameters())
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        """Subclasses implement the computation; ``__call__`` delegates here."""
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x @ W (+ b)``."""
+        out = F.matmul(x, self.weight)
+        if self.bias is not None:
+            out = F.add(out, self.bias)
+        return out
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell over pre-aggregated inputs.
+
+    TGCN uses this with the GCN output as the input: ``h' = GRU(gcn(x), h)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ir = Parameter(init.glorot_uniform((input_size, hidden_size)))
+        self.w_hr = Parameter(init.glorot_uniform((hidden_size, hidden_size)))
+        self.b_r = Parameter(init.zeros((hidden_size,)))
+        self.w_iz = Parameter(init.glorot_uniform((input_size, hidden_size)))
+        self.w_hz = Parameter(init.glorot_uniform((hidden_size, hidden_size)))
+        self.b_z = Parameter(init.zeros((hidden_size,)))
+        self.w_in = Parameter(init.glorot_uniform((input_size, hidden_size)))
+        self.w_hn = Parameter(init.glorot_uniform((hidden_size, hidden_size)))
+        self.b_n = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One GRU step: returns the next hidden state."""
+        r = F.sigmoid(F.add(F.add(F.matmul(x, self.w_ir), F.matmul(h, self.w_hr)), self.b_r))
+        z = F.sigmoid(F.add(F.add(F.matmul(x, self.w_iz), F.matmul(h, self.w_hz)), self.b_z))
+        n = F.tanh(F.add(F.add(F.matmul(x, self.w_in), F.mul(r, F.matmul(h, self.w_hn))), self.b_n))
+        one_minus_z = F.sub(1.0, z)
+        return F.add(F.mul(one_minus_z, n), F.mul(z, h))
+
+
+class LSTMCell(Module):
+    """LSTM cell (for GConvLSTM-style temporal models)."""
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        for gate in ("i", "f", "g", "o"):
+            setattr(self, f"w_x{gate}", Parameter(init.glorot_uniform((input_size, hidden_size))))
+            setattr(self, f"w_h{gate}", Parameter(init.glorot_uniform((hidden_size, hidden_size))))
+            setattr(self, f"b_{gate}", Parameter(init.zeros((hidden_size,))))
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One LSTM step: returns ``(h_next, c_next)``."""
+        i = F.sigmoid(F.add(F.add(F.matmul(x, self.w_xi), F.matmul(h, self.w_hi)), self.b_i))
+        f = F.sigmoid(F.add(F.add(F.matmul(x, self.w_xf), F.matmul(h, self.w_hf)), self.b_f))
+        g = F.tanh(F.add(F.add(F.matmul(x, self.w_xg), F.matmul(h, self.w_hg)), self.b_g))
+        o = F.sigmoid(F.add(F.add(F.matmul(x, self.w_xo), F.matmul(h, self.w_ho)), self.b_o))
+        c_next = F.add(F.mul(f, c), F.mul(i, g))
+        h_next = F.mul(o, F.tanh(c_next))
+        return h_next, c_next
+
+
+class Embedding(Module):
+    """Learnable lookup table (``num_embeddings × dim``).
+
+    The standard way to give featureless DTDG vertices trainable inputs:
+    ``emb(np.arange(N))`` yields per-node vectors whose gradients flow
+    through ``IndexSelect``'s scatter-add backward.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, std: float = 0.1) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), std=std))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Rows of the table at ``indices`` (gradients scatter-add back)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return F.index_select(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """All embeddings in id order (for whole-graph lookups)."""
+        return self.forward(np.arange(self.num_embeddings, dtype=np.int64))
+
+
+class ModuleList(Module):
+    """An indexable container whose items register as submodules."""
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for m in modules or []:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        """Add a module to the end of the list."""
+        idx = len(self._items)
+        self._items.append(module)
+        self._modules[str(idx)] = module
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+
+class Sequential(Module):
+    """Feed-forward composition of modules."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = ModuleList(list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply each layer in order."""
+        for layer in self.layers:
+            x = layer(x)
+        return x

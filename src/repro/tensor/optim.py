@@ -1,0 +1,164 @@
+"""Optimizers: SGD (with momentum), Adam, RMSprop, plus grad clipping.
+
+The paper trains TGCN with Adam defaults; SGD/RMSprop are provided for the
+layer library's users and exercised by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.tensor.nn import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and learning rate."""
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Optimizer buffers for checkpointing (subclasses extend)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore buffers saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity[i]
+                v = self.momentum * v + g if v is not None else g.copy()
+                self._velocity[i] = v
+                g = v
+            p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["velocity"] = [v.copy() if v is not None else None for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ValueError("velocity buffers do not match parameter count")
+        self._velocity = [v.copy() if v is not None else None for v in velocity]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's training optimizer)."""
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            t=self._t,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self.params):
+            raise ValueError("moment buffers do not match parameter count")
+        self._t = int(state["t"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+
+
+class RMSprop(Optimizer):
+    """RMSprop with a running squared-gradient average."""
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2, alpha: float = 0.99, eps: float = 1e-8) -> None:
+        super().__init__(params, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            sq = self._sq[i]
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * (p.grad * p.grad)
+            p.data -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+    Returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

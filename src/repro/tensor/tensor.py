@@ -1,0 +1,337 @@
+"""Core :class:`Tensor` type and the reverse-mode tape.
+
+Design notes
+------------
+* A ``Tensor`` owns a ``numpy.ndarray`` (``data``) registered with the
+  active simulated device so the benchmark harness can measure residency.
+* Ops are instances of :class:`repro.tensor.ops.Function`.  Applying one
+  records it as ``_ctx`` on the output tensor; ``backward()`` topologically
+  sorts the tape and pushes vector-Jacobian products backwards.
+* Gradients accumulate into ``grad`` (``+=``), matching PyTorch semantics so
+  the same parameter used at several timestamps of a TGNN sequence receives
+  the sum of its per-timestamp gradients.
+* ``no_grad()`` disables tape recording, used for evaluation and for the
+  STGraph executor's manually-orchestrated regions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import itertools
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.device import current_device
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable autodiff tape recording inside the block."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record onto the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+_creation_counter = itertools.count()
+
+
+class Tensor:
+    """An autodiff-capable array on the simulated device."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx", "_seq", "__weakref__")
+
+    def __init__(
+        self,
+        data: np.ndarray | Sequence[float] | float | int,
+        requires_grad: bool = False,
+        _track: bool = True,
+    ) -> None:
+        if isinstance(data, Tensor):
+            raise TypeError("wrapping a Tensor in a Tensor; use .detach() or .clone()")
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data, dtype=np.float32)
+        if data.dtype == np.float64:
+            data = data.astype(np.float32)
+        self.data: np.ndarray = data
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx = None  # Function that produced this tensor, if any
+        self._seq = next(_creation_counter)
+        if _track:
+            current_device().alloc.adopt(data, tag="tensor")
+
+    # ------------------------------------------------------------------
+    # Shape & dtype introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype (float32 throughout the framework)."""
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size in bytes."""
+        return self.data.nbytes
+
+    def size(self, dim: int | None = None) -> int | tuple[int, ...]:
+        """Shape, or the extent of one dimension."""
+        return self.data.shape if dim is None else self.data.shape[dim]
+
+    def numel(self) -> int:
+        """Total number of elements."""
+        return int(self.data.size)
+
+    def item(self) -> float:
+        """The value of a single-element tensor as a float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy); treat as read-only."""
+        return self.data
+
+    # ------------------------------------------------------------------
+    # Graph manipulation
+    # ------------------------------------------------------------------
+    def detach(self) -> "Tensor":
+        """A tensor sharing storage but cut from the tape."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._ctx = None
+        out._seq = next(_creation_counter)
+        return out
+
+    def clone(self) -> "Tensor":
+        """Differentiable copy (see :func:`functional.clone`)."""
+        from repro.tensor import functional as F
+
+        return F.clone(self)
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-sweep the tape from this tensor.
+
+        ``grad`` defaults to ones (the usual scalar-loss case requires a
+        0-d/1-element tensor).
+
+        Nodes are processed with Kahn's algorithm using a max-heap on each
+        tensor's creation sequence number: among all dependency-ready nodes
+        the most recently *created* runs first, so the sweep unwinds the
+        forward pass in exact LIFO order even across independent branches.
+        This ordering is what lets the temporally-aware executor rely on
+        strict State/Graph Stack discipline (Algorithm 1's per-timestamp
+        reverse walk) without driving backward itself.
+        """
+        if not self.requires_grad and self._ctx is None:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+
+        # Discover the reachable tape and count, per node, how many
+        # consumers will contribute gradient to it (iterative: recursion
+        # would overflow on long TGNN sequences).
+        consumers: dict[int, int] = {}
+        nodes: dict[int, Tensor] = {id(self): self}
+        stack: list[Tensor] = [self]
+        visited: set[int] = {id(self)}
+        while stack:
+            node = stack.pop()
+            if node._ctx is None:
+                continue
+            for parent in node._ctx.inputs:
+                if not isinstance(parent, Tensor) or parent._ctx is None:
+                    continue
+                consumers[id(parent)] = consumers.get(id(parent), 0) + 1
+                if id(parent) not in visited:
+                    visited.add(id(parent))
+                    nodes[id(parent)] = parent
+                    stack.append(parent)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        ready: list[tuple[int, int]] = []
+        if self._ctx is not None:
+            heapq.heappush(ready, (-self._seq, id(self)))
+        while ready:
+            _, node_id = heapq.heappop(ready)
+            node = nodes[node_id]
+            node_grad = grads.pop(node_id, None)
+            ctx = node._ctx
+            node._ctx = None  # free saved tensors as soon as consumed
+            if ctx is None:
+                continue
+            if node_grad is None:
+                # No gradient reached this node; its parents still become
+                # ready (with no contribution) so their tape state frees.
+                for parent in ctx.inputs:
+                    if isinstance(parent, Tensor) and parent._ctx is not None and id(parent) in consumers:
+                        consumers[id(parent)] -= 1
+                        if consumers[id(parent)] == 0:
+                            heapq.heappush(ready, (-parent._seq, id(parent)))
+                continue
+            input_grads = ctx.backward(node_grad)
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            if len(input_grads) != len(ctx.inputs):
+                raise RuntimeError(
+                    f"{type(ctx).__name__}.backward returned {len(input_grads)} grads "
+                    f"for {len(ctx.inputs)} inputs"
+                )
+            for parent, g in zip(ctx.inputs, input_grads):
+                if not isinstance(parent, Tensor):
+                    continue
+                if g is not None:
+                    if not (parent.requires_grad or parent._ctx is not None):
+                        g = None
+                    elif g.shape != parent.data.shape:
+                        raise RuntimeError(
+                            f"{type(ctx).__name__} produced grad of shape {g.shape} "
+                            f"for input of shape {parent.data.shape}"
+                        )
+                if g is not None:
+                    if parent._ctx is not None:
+                        acc = grads.get(id(parent))
+                        grads[id(parent)] = g if acc is None else acc + g
+                    if parent.requires_grad:
+                        if parent.grad is None:
+                            parent.grad = np.zeros_like(parent.data)
+                        parent.grad += g
+                if parent._ctx is not None and id(parent) in consumers:
+                    consumers[id(parent)] -= 1
+                    if consumers[id(parent)] == 0:
+                        heapq.heappush(ready, (-parent._seq, id(parent)))
+
+        if self.requires_grad and self._ctx is None:
+            if self.grad is None:
+                self.grad = np.zeros_like(self.data)
+            if not visited - {id(self)}:
+                self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Operator sugar (delegates to functional)
+    # ------------------------------------------------------------------
+    def _f(self):
+        from repro.tensor import functional as F
+
+        return F
+
+    def __add__(self, other: Any) -> "Tensor":
+        return self._f().add(self, other)
+
+    def __radd__(self, other: Any) -> "Tensor":
+        return self._f().add(other, self)
+
+    def __sub__(self, other: Any) -> "Tensor":
+        return self._f().sub(self, other)
+
+    def __rsub__(self, other: Any) -> "Tensor":
+        return self._f().sub(other, self)
+
+    def __mul__(self, other: Any) -> "Tensor":
+        return self._f().mul(self, other)
+
+    def __rmul__(self, other: Any) -> "Tensor":
+        return self._f().mul(other, self)
+
+    def __truediv__(self, other: Any) -> "Tensor":
+        return self._f().div(self, other)
+
+    def __rtruediv__(self, other: Any) -> "Tensor":
+        return self._f().div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        return self._f().neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self._f().pow(self, exponent)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self._f().matmul(self, other)
+
+    def __getitem__(self, idx: Any) -> "Tensor":
+        return self._f().getitem(self, idx)
+
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """See :func:`repro.tensor.functional.sum`."""
+        return self._f().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """See :func:`repro.tensor.functional.mean`."""
+        return self._f().mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """See :func:`repro.tensor.functional.reshape`."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return self._f().reshape(self, shape)
+
+    def transpose(self) -> "Tensor":
+        """2-D transpose (also available as ``.T``)."""
+        return self._f().transpose(self)
+
+    @property
+    def T(self) -> "Tensor":
+        """2-D transpose."""
+        return self.transpose()
+
+    def sigmoid(self) -> "Tensor":
+        """See :func:`repro.tensor.functional.sigmoid`."""
+        return self._f().sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        """See :func:`repro.tensor.functional.tanh`."""
+        return self._f().tanh(self)
+
+    def relu(self) -> "Tensor":
+        """See :func:`repro.tensor.functional.relu`."""
+        return self._f().relu(self)
+
+    def exp(self) -> "Tensor":
+        """See :func:`repro.tensor.functional.exp`."""
+        return self._f().exp(self)
+
+    def log(self) -> "Tensor":
+        """See :func:`repro.tensor.functional.log`."""
+        return self._f().log(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_tag})"
+
+
+def tensor(data: Any, requires_grad: bool = False) -> Tensor:
+    """Construct a tensor from array-like data (float32)."""
+    return Tensor(np.asarray(data, dtype=np.float32), requires_grad=requires_grad)

@@ -1,0 +1,33 @@
+"""Training loops (Algorithm 1), task heads, and metrics."""
+
+from repro.train.models import (
+    PyGTLinkPredictor,
+    PyGTNodeRegressor,
+    STGraphLinkPredictor,
+    STGraphNodeRegressor,
+)
+from repro.train.tasks import LinkSamples, make_link_prediction_samples
+from repro.train.trainer import BaselineTrainer, STGraphTrainer
+from repro.train.metrics import accuracy_from_logits, mae, rmse, roc_auc
+from repro.train.utils import EarlyStopping, evaluate_regression, temporal_train_test_split
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "EarlyStopping",
+    "evaluate_regression",
+    "temporal_train_test_split",
+    "save_checkpoint",
+    "load_checkpoint",
+    "STGraphTrainer",
+    "BaselineTrainer",
+    "STGraphNodeRegressor",
+    "STGraphLinkPredictor",
+    "PyGTNodeRegressor",
+    "PyGTLinkPredictor",
+    "LinkSamples",
+    "make_link_prediction_samples",
+    "mae",
+    "rmse",
+    "roc_auc",
+    "accuracy_from_logits",
+]

@@ -1,0 +1,86 @@
+"""Checkpointing: save/restore model + optimizer state as ``.npz``.
+
+Keeps long TGNN training runs resumable.  Model parameters are stored by
+their ``named_parameters`` path; optimizer buffers (Adam moments, SGD
+velocity) are flattened with a prefix.  Loading validates shapes and
+parameter names so silent architecture mismatches fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.tensor.nn import Module
+from repro.tensor.optim import Optimizer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(
+    path: str | pathlib.Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Write model (and optionally optimizer) state to ``path`` (.npz)."""
+    path = pathlib.Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"params": [], "optimizer": None, "extra": extra or {}}
+    for name, value in model.state_dict().items():
+        arrays[f"param/{name}"] = value
+        meta["params"].append(name)
+
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        opt_meta: dict = {"class": type(optimizer).__name__, "scalars": {}}
+        for key, value in state.items():
+            if isinstance(value, (int, float)):
+                opt_meta["scalars"][key] = value
+            elif isinstance(value, list):
+                opt_meta.setdefault("lists", {})[key] = len(value)
+                for i, item in enumerate(value):
+                    if item is not None:
+                        arrays[f"opt/{key}/{i}"] = item
+            else:  # pragma: no cover - optimizer states are scalars/lists
+                raise TypeError(f"unsupported optimizer state entry {key!r}")
+        meta["optimizer"] = opt_meta
+
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    path: str | pathlib.Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+) -> dict:
+    """Restore state saved by :func:`save_checkpoint`; returns ``extra``."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as data:
+        meta = json.loads(bytes(data[_META_KEY]).decode())
+        state = {name: data[f"param/{name}"] for name in meta["params"]}
+        model.load_state_dict(state)
+
+        if optimizer is not None:
+            opt_meta = meta.get("optimizer")
+            if opt_meta is None:
+                raise ValueError("checkpoint has no optimizer state")
+            if opt_meta["class"] != type(optimizer).__name__:
+                raise ValueError(
+                    f"checkpoint optimizer is {opt_meta['class']}, "
+                    f"got {type(optimizer).__name__}"
+                )
+            restored: dict = dict(opt_meta["scalars"])
+            for key, length in opt_meta.get("lists", {}).items():
+                restored[key] = [
+                    data[f"opt/{key}/{i}"] if f"opt/{key}/{i}" in data else None
+                    for i in range(length)
+                ]
+            optimizer.load_state_dict(restored)
+    return meta["extra"]

@@ -1,0 +1,51 @@
+"""Evaluation metrics (NumPy, framework-free)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "roc_auc", "accuracy_from_logits"]
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.abs(np.asarray(pred) - np.asarray(target)).mean())
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.sqrt((diff * diff).mean()))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Rank-based AUC (equivalent to the Mann-Whitney U statistic)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    pos = labels > 0.5
+    n_pos = int(pos.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # midranks for ties
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum_pos = ranks[pos].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def accuracy_from_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct sign(logit) binary predictions."""
+    pred = (np.asarray(logits) > 0).astype(np.float64)
+    return float((pred == np.asarray(labels)).mean())

@@ -1,0 +1,97 @@
+"""Task models: a recurrent TGNN cell plus a prediction head.
+
+Both frameworks get structurally identical models so benchmark comparisons
+isolate the execution strategy:
+
+* **node regression** (static-temporal datasets): TGCN hidden state →
+  linear head → per-node scalar, MSE loss;
+* **link prediction** (DTDGs): TGCN hidden state → dot-product edge scorer,
+  BCE-with-logits loss.
+
+``step`` is the trainer protocol: ``(executor/edge_index, x, state) →
+(prediction, new_state)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.executor import TemporalExecutor
+from repro.baselines.pygt.tgcn import PyGTTGCN
+from repro.nn.tgcn import TGCN
+from repro.tensor import functional as F
+from repro.tensor.nn import Linear, Module
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "STGraphNodeRegressor",
+    "STGraphLinkPredictor",
+    "PyGTNodeRegressor",
+    "PyGTLinkPredictor",
+    "dot_link_scores",
+]
+
+
+def dot_link_scores(h: Tensor, pairs: np.ndarray) -> Tensor:
+    """Logit per candidate edge: ``⟨h[src], h[dst]⟩`` for pairs (2, K)."""
+    hs = F.index_select(h, pairs[0])
+    hd = F.index_select(h, pairs[1])
+    return F.sum(F.mul(hs, hd), axis=1)
+
+
+class STGraphNodeRegressor(Module):
+    """TGNN cell + linear head for per-node regression (STGraph side)."""
+    def __init__(self, in_features: int, hidden: int, cell: Module | None = None, **cell_kwargs) -> None:
+        super().__init__()
+        self.cell = cell if cell is not None else TGCN(in_features, hidden, **cell_kwargs)
+        self.head = Linear(hidden, 1)
+
+    def step(self, executor: TemporalExecutor, x: Tensor, state: Tensor | None):
+        """One timestamp: advance the cell, read out a scalar per node."""
+        h = self.cell(executor, x, state)
+        return self.head(h), h
+
+
+class STGraphLinkPredictor(Module):
+    """TGNN cell producing embeddings scored by dot products (STGraph side)."""
+    def __init__(self, in_features: int, hidden: int, cell: Module | None = None, **cell_kwargs) -> None:
+        super().__init__()
+        self.cell = cell if cell is not None else TGCN(in_features, hidden, **cell_kwargs)
+
+    def step(self, executor: TemporalExecutor, x: Tensor, state: Tensor | None):
+        """One timestamp: advance the cell; the embeddings are the output."""
+        h = self.cell(executor, x, state)
+        return h, h  # prediction = embeddings; the task scores pairs
+
+    def score(self, h: Tensor, pairs: np.ndarray) -> Tensor:
+        """Logits for candidate pairs."""
+        return dot_link_scores(h, pairs)
+
+
+class PyGTNodeRegressor(Module):
+    """Baseline node regressor on the edge-parallel TGCN."""
+    def __init__(self, in_features: int, hidden: int, **cell_kwargs) -> None:
+        super().__init__()
+        self.cell = PyGTTGCN(in_features, hidden, **cell_kwargs)
+        self.head = Linear(hidden, 1)
+
+    def step(self, edge_index: np.ndarray, x: Tensor, state: Tensor | None):
+        """One timestamp on the baseline: edge-parallel cell + head."""
+        h = self.cell(x, edge_index, state)
+        return self.head(h), h
+
+
+class PyGTLinkPredictor(Module):
+    """Baseline link predictor on the edge-parallel TGCN."""
+    def __init__(self, in_features: int, hidden: int, **cell_kwargs) -> None:
+        super().__init__()
+        self.cell = PyGTTGCN(in_features, hidden, **cell_kwargs)
+
+    def step(self, edge_index: np.ndarray, x: Tensor, state: Tensor | None):
+        """One timestamp on the baseline; embeddings are the output."""
+        h = self.cell(x, edge_index, state)
+        return h, h
+
+    def score(self, h: Tensor, pairs: np.ndarray) -> Tensor:
+        """Logits for candidate pairs."""
+        return dot_link_scores(h, pairs)

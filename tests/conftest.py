@@ -1,0 +1,21 @@
+"""Shared fixtures: every test runs on a fresh simulated device so memory
+accounting and kernel caches never leak between tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import Device, use_device
+
+
+@pytest.fixture(autouse=True)
+def fresh_device():
+    device = Device(name="test")
+    with use_device(device):
+        yield device
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

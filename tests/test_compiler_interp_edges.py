@@ -1,0 +1,65 @@
+"""Interpreter edge cases and VNode/TIR robustness."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.compiler import compile_vertex_program, interpret_program, trace_execution
+from repro.compiler.runtime import GraphContext
+from repro.compiler.tir import TOp, TProgram
+from repro.graph import StaticGraph
+
+
+@pytest.fixture
+def ctx():
+    g = nx.gnp_random_graph(8, 0.4, seed=1, directed=True)
+    return GraphContext(StaticGraph.from_networkx(g))
+
+
+def test_interpreter_missing_binding(ctx):
+    prog = compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.h), feature_widths={"h": "v"}, name="ie1"
+    )
+    with pytest.raises(KeyError, match="missing binding"):
+        interpret_program(prog.fwd_prog, ctx, {})
+
+
+def test_interpreter_unknown_op(ctx):
+    prog = TProgram("bad")
+    prog.inputs["x"] = ("node", "x")
+    prog.spaces["x"] = "node"
+    prog.ops = [TOp("warp_shuffle", "t0", ("x",))]
+    prog.outputs = ["t0"]
+    with pytest.raises(ValueError, match="unknown op"):
+        interpret_program(prog, ctx, {"x": np.zeros((8, 2), dtype=np.float32)})
+
+
+def test_trace_execution_exposes_intermediates(ctx, rng):
+    prog = compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm,
+        feature_widths={"h": "v", "norm": "s"}, name="ie2",
+    )
+    binds = {
+        "n_h": rng.standard_normal((8, 2)).astype(np.float32),
+        "n_norm": np.ones(8, dtype=np.float32),
+    }
+    env = trace_execution(prog.fwd_prog, ctx, binds)
+    # every op output is present and inspectable
+    for op in prog.fwd_prog.ops:
+        assert op.out in env
+    assert env[prog.fwd_prog.outputs[0]].shape == (8, 2)
+
+
+def test_interpreter_handles_consts(ctx, rng):
+    prog = compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.h * 3.0), feature_widths={"h": "v"}, name="ie3"
+    )
+    binds = {"n_h": rng.standard_normal((8, 2)).astype(np.float32)}
+    out = interpret_program(prog.fwd_prog, ctx, binds)[0]
+    plain = compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.h), feature_widths={"h": "v"}, name="ie4"
+    )
+    base = interpret_program(plain.fwd_prog, ctx, {"n_h": binds["n_h"]})[0]
+    assert np.allclose(out, 3.0 * base, atol=1e-5)

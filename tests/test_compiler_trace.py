@@ -1,0 +1,124 @@
+"""Tracing: proxies, stages, signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.ir import Stage, VNode, combine_stages
+from repro.compiler.symbols import trace, vfn
+
+
+def test_stage_algebra():
+    assert combine_stages(Stage.SRC, Stage.SRC) == Stage.SRC
+    assert combine_stages(Stage.SRC, Stage.CONST) == Stage.SRC
+    assert combine_stages(Stage.CONST, Stage.DST) == Stage.DST
+    assert combine_stages(Stage.SRC, Stage.DST) == Stage.EDGE
+    assert combine_stages(Stage.EDGE, Stage.SRC) == Stage.EDGE
+
+
+def test_trace_gcn_shape():
+    traced = trace(lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm)
+    root = traced.root
+    assert root.op == "mul" and root.stage == Stage.DST
+    agg = root.args[0]
+    assert agg.op == "agg" and agg.attrs["agg_op"] == "sum"
+    assert traced.node_feature_names == ["h", "norm"]
+    assert traced.edge_feature_names == []
+
+
+def test_generator_sum_syntax():
+    t1 = trace(lambda v: sum(nb.h for nb in v.innbs))
+    assert t1.root.op == "agg"
+    t2 = trace(lambda v: v.agg_sum(lambda nb: nb.h))
+    assert t1.signature() == t2.signature()
+
+
+def test_generator_sum_with_expression():
+    """With generator syntax, a trailing ``* v.norm`` folds *inside* the
+    aggregation body (sum() returns the bare body); the root becomes
+    agg(mul(..., dst)) and lowering's dst-hoisting restores the math —
+    Σ(h·n_u·n_v) = n_v·Σ(h·n_u)."""
+    t = trace(lambda v: sum(nb.h * nb.norm for nb in v.innbs) * v.norm)
+    assert t.root.op == "agg"
+    body = t.root.args[0]
+    assert body.op == "mul" and body.stage == Stage.EDGE
+
+
+def test_same_feature_both_stages_distinct_leaves():
+    t = trace(lambda v: v.agg_sum(lambda nb: nb.norm) * v.norm)
+    leaves = t.root.leaves()
+    stages = {(n.name, n.stage) for n in leaves}
+    assert ("norm", Stage.SRC) in stages and ("norm", Stage.DST) in stages
+
+
+def test_edge_feature_access():
+    t = trace(lambda v: v.agg_sum(lambda nb: nb.h * nb.edge.w))
+    assert t.edge_feature_names == ["w"]
+
+
+def test_edge_softmax_stage():
+    def fn(v):
+        alpha = v.edge_softmax(lambda nb: nb.el + v.er)
+        return v.agg_sum(lambda nb: nb.ft * alpha)
+
+    t = trace(fn)
+    assert t.root.op == "agg"
+
+
+def test_vfn_unary_ops():
+    t = trace(lambda v: vfn.tanh(v.agg_sum(lambda nb: vfn.relu(nb.h))))
+    assert t.root.op == "tanh"
+    assert t.root.args[0].args[0].op == "relu"
+
+
+def test_vfn_rejects_non_expression():
+    with pytest.raises(TypeError):
+        vfn.tanh(3.0)
+
+
+def test_trace_rejects_non_expression_return():
+    with pytest.raises(TypeError):
+        trace(lambda v: 42)
+
+
+def test_agg_of_pure_dst_rejected():
+    with pytest.raises(ValueError, match="destination-stage"):
+        trace(lambda v: v.agg_sum(lambda nb: v.h))
+
+
+def test_operator_sugar_on_vnodes():
+    t = trace(lambda v: v.agg_sum(lambda nb: (nb.h + 1.0) * 2.0 - nb.h / 2.0))
+    assert t.root.op == "agg"
+
+
+def test_neg_operator():
+    t = trace(lambda v: -v.agg_sum(lambda nb: nb.h))
+    assert t.root.op == "neg"
+
+
+def test_signature_stable_across_traces():
+    fn = lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm  # noqa: E731
+    assert trace(fn).signature() == trace(fn).signature()
+
+
+def test_signature_differs_for_different_programs():
+    a = trace(lambda v: v.agg_sum(lambda nb: nb.h))
+    b = trace(lambda v: v.agg_mean(lambda nb: nb.h))
+    assert a.signature() != b.signature()
+
+
+def test_pretty_dump_contains_ops():
+    t = trace(lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm)
+    dump = t.root.pretty()
+    assert "agg" in dump and "mul" in dump and "feat" in dump
+
+
+def test_non_dst_root_wrapped_in_sum():
+    t = trace(lambda v: v.agg_mean(lambda nb: nb.h) + 0)
+    assert t.root.stage == Stage.DST
+
+
+def test_vnode_coerce_rejects_strings():
+    t = trace(lambda v: v.agg_sum(lambda nb: nb.h))
+    with pytest.raises(TypeError):
+        _ = t.root + "nope"

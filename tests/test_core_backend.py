@@ -1,0 +1,88 @@
+"""Backend interface + factory (paper §VI-1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    BackendInterface,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.tensor import Tensor, functional as F
+
+
+def test_repro_backend_registered():
+    assert "repro" in available_backends()
+
+
+def test_get_backend_singleton():
+    assert get_backend("repro") is get_backend("repro")
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("tensorflow")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        register_backend("repro", lambda: None)
+
+
+def test_tensor_bridge(rng):
+    be = get_backend("repro")
+    arr = rng.standard_normal((3, 3)).astype(np.float32)
+    t = be.from_array(arr, requires_grad=True)
+    assert be.is_tensor(t)
+    assert not be.is_tensor(arr)
+    assert np.array_equal(be.to_array(t), arr)
+
+
+def test_attach_tape_node_backward_called(rng):
+    be = get_backend("repro")
+    x = Tensor(rng.standard_normal((2, 2)).astype(np.float32), requires_grad=True)
+    calls = []
+
+    def backward_cb(grad):
+        calls.append(grad)
+        return (grad * 3.0,)
+
+    out = be.attach_tape_node(x.data * 2.0, (x,), backward_cb)
+    F.sum(out).backward()
+    assert len(calls) == 1
+    assert np.allclose(x.grad, 3.0)
+
+
+def test_parameters_of_module():
+    from repro.tensor import nn
+
+    be = get_backend("repro")
+    lin = nn.Linear(2, 3)
+    params = list(be.parameters_of(lin))
+    assert len(params) == 2
+
+
+def test_custom_backend_registration():
+    class Dummy(BackendInterface):
+        name = "dummy-test"
+
+        def is_tensor(self, value):
+            return False
+
+        def to_array(self, tensor):
+            return tensor
+
+        def from_array(self, array, requires_grad=False):
+            return array
+
+        def attach_tape_node(self, output_array, inputs, backward_cb):
+            return output_array
+
+        def parameters_of(self, module):
+            return []
+
+    register_backend("dummy-test", Dummy)
+    assert isinstance(get_backend("dummy-test"), Dummy)

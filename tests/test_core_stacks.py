@@ -1,0 +1,105 @@
+"""State Stack and Graph Stack discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GraphStack, StateStack
+
+
+def test_state_stack_push_pop():
+    s = StateStack()
+    t1 = s.push(0, {"a": np.zeros(4)})
+    t2 = s.push(0, {"b": np.zeros(4)})
+    assert len(s) == 2
+    assert "b" in s.pop(t2)
+    assert "a" in s.pop(t1)
+    assert s.is_empty
+
+
+def test_state_stack_underflow():
+    s = StateStack()
+    with pytest.raises(RuntimeError, match="underflow"):
+        s.pop(0)
+
+
+def test_state_stack_same_timestamp_any_order():
+    """Gate branches inside one timestamp may drain in any order."""
+    s = StateStack()
+    t1 = s.push(3, {"z": 1})
+    t2 = s.push(3, {"r": 2})
+    t3 = s.push(3, {"h": 3})
+    assert s.pop(t1) == {"z": 1}  # buried under same-timestamp entries: OK
+    assert s.pop(t3) == {"h": 3}
+    assert s.pop(t2) == {"r": 2}
+
+
+def test_state_stack_cross_timestamp_violation():
+    s = StateStack()
+    t1 = s.push(0, {"a": 1})
+    s.push(1, {"b": 2})
+    with pytest.raises(RuntimeError, match="LIFO violation"):
+        s.pop(t1)
+
+
+def test_state_stack_unknown_token():
+    s = StateStack()
+    s.push(0, {"a": 1})
+    with pytest.raises(KeyError):
+        s.pop(99999)
+
+
+def test_state_stack_byte_accounting():
+    s = StateStack()
+    tok = s.push(0, {"x": np.zeros(1000, dtype=np.float32)})
+    assert s.current_bytes() == 4000
+    assert s.peak_bytes == 4000
+    s.pop(tok)
+    assert s.current_bytes() == 0
+    assert s.peak_bytes == 4000
+
+
+def test_state_stack_peak_depth_and_pushes():
+    s = StateStack()
+    toks = [s.push(t, {}) for t in range(5)]
+    for tok in reversed(toks):
+        s.pop(tok)
+    assert s.peak_depth == 5
+    assert s.total_pushes == 5
+
+
+def test_state_stack_clear():
+    s = StateStack()
+    s.push(0, {"a": 1})
+    s.clear()
+    assert s.is_empty
+
+
+def test_graph_stack_lifo():
+    g = GraphStack()
+    for t in (0, 1, 2):
+        g.push(t)
+    assert g.top() == 2
+    assert g.pop() == 2
+    assert g.pop() == 1
+    assert g.pop() == 0
+    assert g.is_empty
+    assert g.top() is None
+
+
+def test_graph_stack_underflow():
+    g = GraphStack()
+    with pytest.raises(RuntimeError, match="underflow"):
+        g.pop()
+
+
+def test_graph_stack_peak_depth():
+    g = GraphStack()
+    for t in range(7):
+        g.push(t)
+    g.pop()
+    assert g.peak_depth == 7
+    assert len(g) == 6
+    g.clear()
+    assert g.is_empty

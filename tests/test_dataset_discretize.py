@@ -1,0 +1,67 @@
+"""Edge-stream discretization (paper §VII-B preprocessing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset import discretize_edge_stream, temporal_edge_stream
+
+
+def _stream(n=300, m=4000, seed=0):
+    src, dst, _ = temporal_edge_stream(n, m, seed=seed)
+    return src, dst, n
+
+
+def test_first_snapshot_is_first_half():
+    src, dst, n = _stream()
+    dtdg = discretize_edge_stream(src, dst, n, percent_change=5.0)
+    half_keys = np.unique(src[:2000] * n + dst[:2000])
+    s0, d0 = dtdg.snapshot_edges(0)
+    assert np.array_equal(np.sort(s0 * n + d0), half_keys)
+
+
+def test_percent_change_bound_respected():
+    src, dst, n = _stream()
+    for target in (2.0, 5.0, 10.0):
+        dtdg = discretize_edge_stream(src, dst, n, percent_change=target)
+        for t in range(1, dtdg.num_timestamps):
+            assert dtdg.percent_change(t) <= target + 1e-9, (target, t)
+
+
+def test_sweep_changes_spread():
+    """Larger targets must produce materially larger realized changes."""
+    src, dst, n = _stream()
+    lo = discretize_edge_stream(src, dst, n, percent_change=1.0, max_snapshots=8)
+    hi = discretize_edge_stream(src, dst, n, percent_change=10.0, max_snapshots=8)
+    lo_avg = np.mean([lo.percent_change(t) for t in range(1, lo.num_timestamps)])
+    hi_avg = np.mean([hi.percent_change(t) for t in range(1, hi.num_timestamps)])
+    assert hi_avg > 3 * lo_avg
+
+
+def test_max_snapshots_cap():
+    src, dst, n = _stream()
+    dtdg = discretize_edge_stream(src, dst, n, percent_change=5.0, max_snapshots=4)
+    assert dtdg.num_timestamps == 4
+
+
+def test_window_fraction():
+    src, dst, n = _stream()
+    small = discretize_edge_stream(src, dst, n, window_fraction=0.25, max_snapshots=3)
+    big = discretize_edge_stream(src, dst, n, window_fraction=0.5, max_snapshots=3)
+    assert small.snapshot_edge_count(0) < big.snapshot_edge_count(0)
+
+
+def test_short_stream_rejected():
+    with pytest.raises(ValueError):
+        discretize_edge_stream(np.array([0]), np.array([1]), 2)
+
+
+@given(seed=st.integers(0, 10**5), pct=st.floats(1.0, 15.0))
+@settings(max_examples=20, deadline=None)
+def test_property_bound_always_holds(seed, pct):
+    src, dst, _ = temporal_edge_stream(150, 1500, seed=seed)
+    dtdg = discretize_edge_stream(src, dst, 150, percent_change=pct, max_snapshots=6)
+    for t in range(1, dtdg.num_timestamps):
+        assert dtdg.percent_change(t) <= pct + 1e-9

@@ -1,0 +1,86 @@
+"""Synthetic generators: determinism, sizes, structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import gnp_edges, powerlaw_edges, smooth_signal, temporal_edge_stream
+
+
+def test_gnp_exact_edge_count():
+    src, dst = gnp_edges(100, 500, seed=1)
+    assert len(src) == len(dst) == 500
+
+
+def test_gnp_no_self_loops_no_duplicates():
+    src, dst = gnp_edges(50, 400, seed=2)
+    assert np.all(src != dst)
+    pairs = set(zip(src.tolist(), dst.tolist()))
+    assert len(pairs) == 400
+
+
+def test_gnp_deterministic():
+    a = gnp_edges(60, 200, seed=7)
+    b = gnp_edges(60, 200, seed=7)
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    c = gnp_edges(60, 200, seed=8)
+    assert not np.array_equal(a[0], c[0])
+
+
+def test_gnp_near_complete():
+    n = 12
+    src, dst = gnp_edges(n, n * (n - 1), seed=3)
+    assert len(src) == n * (n - 1)
+
+
+def test_powerlaw_heavy_tail():
+    src, dst = powerlaw_edges(500, 3000, seed=4, exponent=1.3)
+    deg = np.bincount(np.concatenate([src, dst]), minlength=500)
+    top = np.sort(deg)[-25:].sum()
+    assert top / deg.sum() > 0.3  # top 5% of nodes carry >30% of endpoints
+
+
+def test_powerlaw_valid_edges():
+    src, dst = powerlaw_edges(100, 500, seed=5)
+    assert np.all(src != dst)
+    assert src.max() < 100 and dst.max() < 100 and src.min() >= 0
+
+
+def test_smooth_signal_shape_and_standardization():
+    sig = smooth_signal(20, 100, seed=6)
+    assert sig.shape == (100, 20)
+    assert np.allclose(sig.mean(axis=0), 0.0, atol=1e-5)
+    assert np.allclose(sig.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_smooth_signal_temporally_correlated():
+    """Consecutive timesteps must correlate far more than distant ones."""
+    sig = smooth_signal(30, 200, seed=7).astype(np.float64)
+    near = np.mean([np.corrcoef(sig[t], sig[t + 1])[0, 1] for t in range(0, 150, 10)])
+    far = np.mean([abs(np.corrcoef(sig[t], sig[t + 97])[0, 1]) for t in range(0, 100, 10)])
+    assert near > 0.5
+    assert near > far
+
+
+def test_smooth_signal_deterministic():
+    assert np.array_equal(smooth_signal(5, 20, seed=1), smooth_signal(5, 20, seed=1))
+
+
+def test_temporal_stream_shapes():
+    src, dst, times = temporal_edge_stream(200, 1000, seed=8)
+    assert len(src) == len(dst) == len(times) == 1000
+    assert np.all(src != dst)
+    assert np.all(np.diff(times) >= 0)  # chronological
+
+
+def test_temporal_stream_has_repeats():
+    src, dst, _ = temporal_edge_stream(500, 5000, seed=9, repeat_prob=0.4)
+    pairs = list(zip(src.tolist(), dst.tolist()))
+    assert len(set(pairs)) < len(pairs)  # bursty re-fires create duplicates
+
+
+def test_temporal_stream_deterministic():
+    a = temporal_edge_stream(100, 500, seed=10)
+    b = temporal_edge_stream(100, 500, seed=10)
+    assert all(np.array_equal(x, y) for x, y in zip(a, b))

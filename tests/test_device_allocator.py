@@ -1,0 +1,158 @@
+"""MemoryTracker / DeviceAllocator accounting."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.device import DeviceAllocator, MemoryTracker
+
+
+def test_track_counts_bytes():
+    tr = MemoryTracker()
+    a = tr.track(np.zeros(1000, dtype=np.float32))
+    assert tr.current_bytes == 4000
+    assert tr.peak_bytes == 4000
+    del a
+    gc.collect()
+    assert tr.current_bytes == 0
+    assert tr.peak_bytes == 4000  # peak persists
+
+
+def test_peak_tracks_high_water_mark():
+    tr = MemoryTracker()
+    a = tr.track(np.zeros(100, dtype=np.float64))
+    b = tr.track(np.zeros(100, dtype=np.float64))
+    del a
+    gc.collect()
+    c = tr.track(np.zeros(10, dtype=np.float64))
+    assert tr.peak_bytes == 1600
+    assert tr.current_bytes == 880
+    del b, c
+
+
+def test_views_not_double_counted():
+    tr = MemoryTracker()
+    base = tr.track(np.zeros(1000, dtype=np.float32))
+    view = base[10:500]
+    tr.track(view)  # same owning buffer: no extra accounting
+    assert tr.current_bytes == 4000
+    assert tr.live_allocation_count == 1
+    tr.track(base)  # re-tracking the base itself is also a no-op
+    assert tr.current_bytes == 4000
+    del view, base
+    gc.collect()
+    assert tr.current_bytes == 0
+
+
+def test_total_allocated_is_cumulative():
+    tr = MemoryTracker()
+    for _ in range(5):
+        tr.track(np.zeros(10, dtype=np.float32))
+    gc.collect()
+    assert tr.total_allocated_bytes == 5 * 40
+    assert tr.current_bytes == 0
+
+
+def test_manual_add_release():
+    tr = MemoryTracker()
+    h = tr.manual_add(12345, tag="pool")
+    assert tr.current_bytes == 12345
+    assert tr.live_by_tag() == {"pool": 12345}
+    tr.manual_release(h)
+    assert tr.current_bytes == 0
+
+
+def test_manual_release_idempotent():
+    tr = MemoryTracker()
+    h = tr.manual_add(10)
+    tr.manual_release(h)
+    tr.manual_release(h)  # no error, no double-subtract
+    assert tr.current_bytes == 0
+
+
+def test_reset_peak():
+    tr = MemoryTracker()
+    a = tr.track(np.zeros(1000, dtype=np.float32))
+    del a
+    gc.collect()
+    assert tr.peak_bytes == 4000
+    tr.reset_peak()
+    assert tr.peak_bytes == 0
+
+
+def test_scope_measures_region():
+    tr = MemoryTracker()
+    keep = tr.track(np.zeros(100, dtype=np.float32))
+    with tr.scope() as scope:
+        tmp = tr.track(np.zeros(1000, dtype=np.float32))
+        del tmp
+        gc.collect()
+    assert scope.peak_delta_bytes == 4000
+    assert scope.entry_bytes == 400
+    del keep
+
+
+def test_live_by_tag_groups():
+    tr = MemoryTracker()
+    a = tr.track(np.zeros(10, dtype=np.float32), tag="x")
+    b = tr.track(np.zeros(20, dtype=np.float32), tag="x")
+    c = tr.track(np.zeros(30, dtype=np.float32), tag="y")
+    tags = tr.live_by_tag()
+    assert tags["x"] == 120
+    assert tags["y"] == 120
+    del a, b, c
+
+
+def test_allocator_constructors_track():
+    alloc = DeviceAllocator()
+    a = alloc.zeros((10, 10), dtype=np.float32)
+    assert a.shape == (10, 10) and a.dtype == np.float32 and not a.any()
+    b = alloc.empty(5, dtype=np.int64)
+    assert b.shape == (5,)
+    c = alloc.full(4, 7.0)
+    assert (c == 7.0).all()
+    assert alloc.tracker.current_bytes == 400 + 40 + 16
+    del a, b, c
+
+
+def test_allocator_upload_copies():
+    alloc = DeviceAllocator()
+    host = np.arange(6).reshape(2, 3)
+    dev = alloc.upload(host)
+    host[0, 0] = 99
+    assert dev[0, 0] == 0  # independent copy
+    assert dev.flags.c_contiguous
+
+
+def test_allocator_adopt_no_copy():
+    alloc = DeviceAllocator()
+    arr = np.zeros(8)
+    assert alloc.adopt(arr) is arr
+
+
+def test_device_oom_cap():
+    from repro.device import Device
+    from repro.device.device import DeviceOutOfMemoryError
+
+    dev = Device(memory_limit_bytes=100)
+    big = dev.alloc.zeros(1000, dtype=np.float32)
+    with pytest.raises(DeviceOutOfMemoryError):
+        dev.check_oom()
+    del big
+
+
+def test_use_device_nesting():
+    from repro.device import Device, current_device, use_device
+
+    outer = current_device()
+    inner = Device(name="inner")
+    with use_device(inner):
+        assert current_device() is inner
+        nested = Device(name="nested")
+        with use_device(nested):
+            assert current_device() is nested
+        assert current_device() is inner
+    assert current_device() is outer

@@ -1,0 +1,68 @@
+"""Kernel compilation and the launcher cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.kernel import CompiledKernel, KernelLauncher, compile_kernel_source
+
+
+def test_compile_kernel_source_basic():
+    fn = compile_kernel_source("def k(x):\n    return x * 2\n", "k")
+    assert fn(21) == 42
+
+
+def test_compile_kernel_source_with_globals():
+    fn = compile_kernel_source(
+        "def k(x):\n    return helper(x) + 1\n", "k", globals_extra={"helper": lambda v: v * 10}
+    )
+    assert fn(4) == 41
+
+
+def test_compile_missing_entry_raises():
+    with pytest.raises(RuntimeError, match="entry point"):
+        compile_kernel_source("def other():\n    pass\n", "k")
+
+
+def test_compile_syntax_error_surfaces():
+    with pytest.raises(SyntaxError):
+        compile_kernel_source("def k(:\n", "k")
+
+
+def test_launcher_cache_roundtrip():
+    launcher = KernelLauncher()
+    kernel = CompiledKernel("k", "def k():\n    return 7\n", lambda: 7, ())
+    assert launcher.get("sig") is None
+    launcher.put("sig", kernel)
+    assert launcher.get("sig") is kernel
+    assert len(launcher) == 1
+
+
+def test_launcher_counts_and_times():
+    launcher = KernelLauncher()
+    kernel = CompiledKernel("k", "", lambda a, b: a + b, ())
+    assert launcher.launch(kernel, 1, 2) == 3
+    assert launcher.launch(kernel, 3, 4) == 7
+    assert launcher.launch_count == 2
+    assert launcher.launch_seconds >= 0.0
+
+
+def test_launcher_counts_failed_launches():
+    launcher = KernelLauncher()
+
+    def bad():
+        raise RuntimeError("kernel fault")
+
+    kernel = CompiledKernel("k", "", bad, ())
+    with pytest.raises(RuntimeError):
+        launcher.launch(kernel)
+    assert launcher.launch_count == 1
+
+
+def test_launcher_clear():
+    launcher = KernelLauncher()
+    launcher.put("a", CompiledKernel("k", "", lambda: 0, ()))
+    launcher.launch(launcher.get("a"))
+    launcher.clear()
+    assert len(launcher) == 0
+    assert launcher.launch_count == 0

@@ -1,0 +1,91 @@
+"""Profiler phase accounting (Figure 9's instrument)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.device import Profiler
+
+
+def test_single_phase_accumulates():
+    p = Profiler()
+    with p.phase("a"):
+        time.sleep(0.01)
+    with p.phase("a"):
+        time.sleep(0.01)
+    assert p.seconds("a") >= 0.02
+    assert p.calls("a") == 2
+
+
+def test_unknown_phase_zero():
+    p = Profiler()
+    assert p.seconds("nope") == 0.0
+    assert p.calls("nope") == 0
+
+
+def test_nested_phases_attributed_once():
+    """Inner phase time must not be double counted in the outer phase."""
+    p = Profiler()
+    with p.phase("outer"):
+        time.sleep(0.02)
+        with p.phase("inner"):
+            time.sleep(0.04)
+        time.sleep(0.02)
+    outer = p.seconds("outer")
+    inner = p.seconds("inner")
+    assert inner >= 0.04
+    assert outer >= 0.04 * 0.9  # own time only (two 0.02 sleeps)
+    # The key invariant: outer does NOT include inner's 0.04s.
+    assert outer < 0.04 + 0.04 + 0.02
+    total = outer + inner
+    assert total == pytest.approx(0.08, abs=0.04)
+
+
+def test_breakdown_sums_to_one():
+    p = Profiler()
+    with p.phase("a"):
+        time.sleep(0.01)
+    with p.phase("b"):
+        time.sleep(0.03)
+    frac = p.breakdown()
+    assert abs(sum(frac.values()) - 1.0) < 1e-9
+    assert frac["b"] > frac["a"]
+
+
+def test_disabled_profiler_is_noop():
+    p = Profiler()
+    p.enabled = False
+    with p.phase("a"):
+        pass
+    assert p.calls("a") == 0
+    assert p.breakdown() == {}
+
+
+def test_reset():
+    p = Profiler()
+    with p.phase("a"):
+        pass
+    p.reset()
+    assert p.seconds("a") == 0.0
+    assert p.breakdown() == {}
+
+
+def test_exception_inside_phase_still_recorded():
+    p = Profiler()
+    with pytest.raises(ValueError):
+        with p.phase("a"):
+            raise ValueError("boom")
+    assert p.calls("a") == 1
+
+
+def test_sibling_phases_inside_outer():
+    p = Profiler()
+    with p.phase("outer"):
+        with p.phase("x"):
+            time.sleep(0.01)
+        with p.phase("y"):
+            time.sleep(0.01)
+    assert p.calls("x") == 1 and p.calls("y") == 1
+    assert p.calls("outer") == 1

@@ -1,0 +1,152 @@
+"""Time-varying edge features (Definition II.1) and future-link prediction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import TemporalExecutor
+from repro.dataset import load_sx_mathoverflow
+from repro.graph import StaticGraph
+from repro.graph.labels import encode_edges
+from repro.nn import GCNConv
+from repro.tensor import Tensor, functional as F, init, optim
+from repro.train import make_link_prediction_samples
+
+
+@pytest.fixture
+def setup(rng):
+    g = nx.gnp_random_graph(15, 0.3, seed=3, directed=True)
+    sg = StaticGraph.from_networkx(g)
+    ex = TemporalExecutor(sg)
+    ex.begin_timestamp(0)
+    x = rng.standard_normal((15, 4)).astype(np.float32)
+    return g, sg, ex, x
+
+
+def test_weighted_gcn_matches_dense(setup, rng):
+    g, sg, ex, x = setup
+    conv = GCNConv(4, 3, edge_weighted=True, add_self_loops=False, bias=False)
+    w = rng.standard_normal(sg.num_edges).astype(np.float32)
+    out = conv(ex, Tensor(x), edge_weight=w)
+    A = nx.to_numpy_array(g).T
+    deg = np.maximum(A.sum(1), 1)
+    norm = 1 / np.sqrt(deg)
+    # weighted adjacency from labelled edges
+    Aw = np.zeros_like(A)
+    bwd = sg.backward_csr()
+    for u in range(15):
+        for v, l in zip(bwd.neighbors(u), bwd.edge_ids(u)):
+            Aw[v, u] = w[l]
+    ref = norm[:, None] * (Aw @ (x @ conv.weight.data * norm[:, None]))
+    assert np.allclose(out.data, ref, atol=1e-4)
+
+
+def test_weighted_gcn_requires_weights(setup):
+    g, sg, ex, x = setup
+    conv = GCNConv(4, 3, edge_weighted=True, add_self_loops=False)
+    with pytest.raises(ValueError, match="edge_weight"):
+        conv(ex, Tensor(x))
+
+
+def test_weighted_with_self_loops_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        GCNConv(4, 3, edge_weighted=True, add_self_loops=True)
+
+
+def test_per_timestamp_edge_weights_change_output(setup, rng):
+    """Definition II.1: edge features may differ every timestamp, and the
+    State Stack must restore the *matching* weights during backward."""
+    g, sg, ex, x = setup
+    conv = GCNConv(4, 3, edge_weighted=True, add_self_loops=False, bias=False)
+    weights = [rng.standard_normal(sg.num_edges).astype(np.float32) for _ in range(3)]
+    x_t = Tensor(x, requires_grad=True)
+    total = None
+    outs = []
+    for t in range(3):
+        ex.begin_timestamp(t)
+        out = conv(ex, x_t, edge_weight=weights[t])
+        outs.append(out.data.copy())
+        loss = F.sum(F.mul(out, out))
+        total = loss if total is None else F.add(total, loss)
+    assert not np.allclose(outs[0], outs[1])
+    total.backward()
+    ex.check_drained()
+
+    # gradient check against the per-timestamp numeric derivative
+    eps = 1e-2
+    i, j = 4, 2
+    def run_all(xv):
+        s = 0.0
+        for t in range(3):
+            ex.begin_timestamp(t)
+            o = conv(ex, Tensor(xv), edge_weight=weights[t])
+            s += float((o.data ** 2).sum())
+        return s
+
+    xp = x.copy(); xp[i, j] += eps
+    xm = x.copy(); xm[i, j] -= eps
+    num = (run_all(xp) - run_all(xm)) / (2 * eps)
+    assert x_t.grad[i, j] == pytest.approx(num, rel=0.05, abs=0.05)
+
+
+def test_weighted_training_converges(setup, rng):
+    g, sg, ex, x = setup
+    init.set_seed(0)
+    conv = GCNConv(4, 3, edge_weighted=True, add_self_loops=False)
+    w = np.abs(rng.standard_normal(sg.num_edges)).astype(np.float32)
+    y = rng.standard_normal((15, 3)).astype(np.float32)
+    opt = optim.Adam(conv.parameters(), lr=1e-2)
+    first = last = None
+    for _ in range(15):
+        opt.zero_grad()
+        loss = F.mse_loss(conv(ex, Tensor(x), edge_weight=w), y)
+        loss.backward()
+        ex.check_drained()
+        opt.step()
+        first = first if first is not None else loss.item()
+        last = loss.item()
+    assert last < first
+
+
+# ---------------------------------------------------------------------------
+# Future-link prediction horizon
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def dyn_ds():
+    return load_sx_mathoverflow(scale=0.01, max_snapshots=5)
+
+
+def test_horizon_zero_is_presence_task(dyn_ds):
+    a = make_link_prediction_samples(dyn_ds.dtdg, 64, seed=1, horizon=0)
+    b = make_link_prediction_samples(dyn_ds.dtdg, 64, seed=1)
+    for sa, sb in zip(a, b):
+        assert np.array_equal(sa.pairs, sb.pairs)
+
+
+def test_horizon_positives_come_from_future_snapshot(dyn_ds):
+    samples = make_link_prediction_samples(dyn_ds.dtdg, 64, seed=1, horizon=1)
+    n = dyn_ds.num_nodes
+    for t, s in enumerate(samples):
+        target_t = min(t + 1, dyn_ds.num_timestamps - 1)
+        src, dst = dyn_ds.dtdg.snapshot_edges(target_t)
+        keys = set(encode_edges(src, dst, n).tolist())
+        pos = s.pairs[:, s.labels > 0.5]
+        assert all(k in keys for k in encode_edges(pos[0], pos[1], n).tolist())
+
+
+def test_horizon_clamps_at_end(dyn_ds):
+    h_big = make_link_prediction_samples(dyn_ds.dtdg, 64, seed=2, horizon=100)
+    n = dyn_ds.num_nodes
+    last = dyn_ds.num_timestamps - 1
+    src, dst = dyn_ds.dtdg.snapshot_edges(last)
+    keys = set(encode_edges(src, dst, n).tolist())
+    for s in h_big:
+        pos = s.pairs[:, s.labels > 0.5]
+        assert all(k in keys for k in encode_edges(pos[0], pos[1], n).tolist())
+
+
+def test_negative_horizon_rejected(dyn_ds):
+    with pytest.raises(ValueError):
+        make_link_prediction_samples(dyn_ds.dtdg, 64, horizon=-1)

@@ -1,0 +1,97 @@
+"""DTDG container: update derivation and consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DTDG, EdgeUpdate
+from repro.graph.labels import encode_edges
+
+
+def _snap(*pairs):
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return arr[:, 0], arr[:, 1]
+
+
+def test_single_snapshot():
+    dtdg = DTDG([_snap((0, 1), (1, 2))], 3)
+    assert dtdg.num_timestamps == 1
+    assert dtdg.updates[0].num_changes == 0
+    s, d = dtdg.snapshot_edges(0)
+    assert set(zip(s.tolist(), d.tolist())) == {(0, 1), (1, 2)}
+
+
+def test_updates_are_exact_diffs():
+    dtdg = DTDG([_snap((0, 1), (1, 2)), _snap((1, 2), (2, 0))], 3)
+    up = dtdg.updates[1]
+    assert set(zip(up.add_src.tolist(), up.add_dst.tolist())) == {(2, 0)}
+    assert set(zip(up.del_src.tolist(), up.del_dst.tolist())) == {(0, 1)}
+    assert up.num_changes == 2
+
+
+def test_duplicate_edges_collapsed():
+    dtdg = DTDG([_snap((0, 1), (0, 1), (1, 2))], 3)
+    assert dtdg.snapshot_edge_count(0) == 2
+
+
+def test_applying_updates_reconstructs_snapshots(rng):
+    n = 30
+    snaps = []
+    keys = set(map(tuple, rng.integers(0, n, (40, 2)).tolist()))
+    keys = {(s, d) for s, d in keys if s != d}
+    for t in range(5):
+        if t:
+            drop = list(keys)[:3]
+            for k in drop:
+                keys.discard(k)
+            for _ in range(5):
+                s, d = rng.integers(0, n, 2)
+                if s != d:
+                    keys.add((int(s), int(d)))
+        arr = np.array(sorted(keys), dtype=np.int64)
+        snaps.append((arr[:, 0].copy(), arr[:, 1].copy()))
+    dtdg = DTDG(snaps, n)
+    # replay updates from snapshot 0
+    current = set(encode_edges(*dtdg.snapshot_edges(0), n).tolist())
+    for t in range(1, dtdg.num_timestamps):
+        up = dtdg.updates[t]
+        current -= set(encode_edges(up.del_src, up.del_dst, n).tolist())
+        current |= set(encode_edges(up.add_src, up.add_dst, n).tolist())
+        expect = set(encode_edges(*dtdg.snapshot_edges(t), n).tolist())
+        assert current == expect, t
+
+
+def test_reversed_update_inverts():
+    up = EdgeUpdate(
+        np.array([1]), np.array([2]), np.array([3]), np.array([4])
+    )
+    r = up.reversed()
+    assert r.add_src.tolist() == [3] and r.add_dst.tolist() == [4]
+    assert r.del_src.tolist() == [1] and r.del_dst.tolist() == [2]
+
+
+def test_percent_change():
+    dtdg = DTDG(
+        [_snap((0, 1), (1, 2), (2, 3), (3, 0)), _snap((0, 1), (1, 2), (2, 3), (0, 2))], 4
+    )
+    # 1 added + 1 deleted out of 4 edges = 50%
+    assert dtdg.percent_change(1) == pytest.approx(50.0)
+    assert dtdg.percent_change(0) == 0.0
+    assert dtdg.max_percent_change() == pytest.approx(50.0)
+
+
+def test_total_update_count():
+    dtdg = DTDG([_snap((0, 1)), _snap((1, 2)), _snap((1, 2), (2, 0))], 3)
+    assert dtdg.total_update_count() == 2 + 1
+
+
+def test_empty_dtdg_rejected():
+    with pytest.raises(ValueError):
+        DTDG([], 5)
+
+
+def test_identical_snapshots_no_updates():
+    dtdg = DTDG([_snap((0, 1)), _snap((0, 1))], 2)
+    assert dtdg.updates[1].num_changes == 0
+    assert dtdg.percent_change(1) == 0.0

@@ -1,0 +1,92 @@
+"""Property-based graph-layer tests: GPMA ≡ Naive under arbitrary walks."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DTDG, GPMAGraph, NaiveGraph
+from repro.graph.labels import encode_edges
+
+
+def _random_dtdg(seed: int, n: int = 20, e0: int = 50, timestamps: int = 5) -> DTDG:
+    rng = np.random.default_rng(seed)
+    keys: set[tuple[int, int]] = set()
+    while len(keys) < e0:
+        s, d = rng.integers(0, n, 2)
+        if s != d:
+            keys.add((int(s), int(d)))
+    snaps = []
+    for t in range(timestamps):
+        if t:
+            doomed = rng.integers(0, 2, len(keys)).astype(bool)
+            survivors = {k for k, dead in zip(sorted(keys), doomed[: len(keys)]) if not dead}
+            keys = survivors if survivors else keys
+            while len(keys) < e0:
+                s, d = rng.integers(0, n, 2)
+                if s != d:
+                    keys.add((int(s), int(d)))
+        arr = np.array(sorted(keys), dtype=np.int64)
+        snaps.append((arr[:, 0].copy(), arr[:, 1].copy()))
+    return DTDG(snaps, n)
+
+
+def _edge_keys(graph, n):
+    bwd = graph.backward_csr()
+    keys = []
+    for u in range(n):
+        for v in bwd.neighbors(u):
+            keys.append(int(u) * n + int(v))
+    return sorted(keys)
+
+
+@given(
+    seed=st.integers(0, 10**5),
+    walk=st.lists(st.integers(0, 4), min_size=1, max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_gpma_equals_naive_under_any_walk(seed, walk):
+    """Whatever order timestamps are visited in (forward jumps, rewinds,
+    repeats), GPMA's on-demand snapshot must equal Naive's pre-built one."""
+    dtdg = _random_dtdg(seed)
+    naive = NaiveGraph(dtdg)
+    gpma = GPMAGraph(dtdg)
+    n = dtdg.num_nodes
+    for t in walk:
+        naive.get_graph(t)
+        gpma.get_graph(t)
+        gpma.pma.check_invariants()
+        assert _edge_keys(gpma, n) == _edge_keys(naive, n)
+        assert np.array_equal(gpma.in_degrees(), naive.in_degrees())
+
+
+@given(seed=st.integers(0, 10**5), cache=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_gpma_sequence_protocol_with_cache(seed, cache):
+    """The Algorithm-1 access pattern (forward seq, cache, LIFO backward,
+    next seq) lands on correct snapshots with and without the cache."""
+    dtdg = _random_dtdg(seed, timestamps=6)
+    gpma = GPMAGraph(dtdg, enable_cache=cache)
+    naive = NaiveGraph(dtdg)
+    n = dtdg.num_nodes
+    for seq in ([0, 1, 2], [3, 4, 5]):
+        for t in seq:
+            gpma.get_graph(t)
+        gpma.cache_snapshot()
+        for t in reversed(seq):
+            gpma.get_backward_graph(t)
+            naive.get_graph(t)
+            assert _edge_keys(gpma, n) == _edge_keys(naive, n)
+
+
+@given(seed=st.integers(0, 10**5))
+@settings(max_examples=20, deadline=None)
+def test_dtdg_update_replay_reconstructs(seed):
+    dtdg = _random_dtdg(seed)
+    n = dtdg.num_nodes
+    current = set(encode_edges(*dtdg.snapshot_edges(0), n).tolist())
+    for t in range(1, dtdg.num_timestamps):
+        up = dtdg.updates[t]
+        current -= set(encode_edges(up.del_src, up.del_dst, n).tolist())
+        current |= set(encode_edges(up.add_src, up.add_dst, n).tolist())
+        assert current == set(encode_edges(*dtdg.snapshot_edges(t), n).tolist())

@@ -1,0 +1,236 @@
+"""ChebConv, DConv/DCRNN, RGCN, and out-direction aggregation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.compiler import compile_vertex_program
+from repro.compiler.lower import CompileError
+from repro.compiler.runtime import GraphContext
+from repro.compiler.symbols import trace, vfn
+from repro.core import TemporalExecutor
+from repro.graph import StaticGraph
+from repro.nn import DCRNN, ChebConv, DConv, RGCNConv
+from repro.tensor import Tensor, functional as F, init, optim
+
+
+@pytest.fixture
+def setup(rng):
+    n = 16
+    g = nx.gnp_random_graph(n, 0.3, seed=41, directed=True)
+    sg = StaticGraph.from_networkx(g)
+    ex = TemporalExecutor(sg)
+    ex.begin_timestamp(0)
+    A_out = nx.to_numpy_array(g).astype(np.float64)  # A[u,v]=1 iff u->v
+    x = rng.standard_normal((n, 4)).astype(np.float32)
+    return n, g, sg, ex, A_out, x
+
+
+# ---------------------------------------------------------------------------
+# Out-direction aggregation (compiler level)
+# ---------------------------------------------------------------------------
+def test_agg_sum_out_matches_dense(setup, rng):
+    n, g, sg, ex, A_out, x = setup
+    prog = compile_vertex_program(
+        lambda v: v.agg_sum_out(lambda nb: nb.h),
+        feature_widths={"h": "v"}, grad_features={"h"}, name="t_osum",
+    )
+    ctx = ex.current_context()
+    out, saved = prog.forward(ctx, {"h": x})
+    assert np.allclose(out, A_out @ x, atol=1e-4)
+    gout = rng.standard_normal((n, 4)).astype(np.float32)
+    grads = prog.backward(ctx, gout, saved)
+    assert np.allclose(grads["h"], A_out.T @ gout, atol=1e-4)
+
+
+def test_agg_mean_out_matches_dense(setup):
+    n, g, sg, ex, A_out, x = setup
+    prog = compile_vertex_program(
+        lambda v: v.agg_mean_out(lambda nb: nb.h),
+        feature_widths={"h": "v"}, name="t_omean",
+    )
+    out, _ = prog.forward(ex.current_context(), {"h": x})
+    deg = np.maximum(A_out.sum(1), 1)[:, None]
+    assert np.allclose(out, (A_out @ x) / deg, atol=1e-4)
+
+
+def test_out_direction_rejects_computed_edge_scores():
+    with pytest.raises(CompileError, match="out-neighbor"):
+        compile_vertex_program(
+            lambda v: v.agg_sum_out(lambda nb: nb.h * vfn.tanh(nb.el + v.er)),
+            feature_widths={"h": "v", "el": "s", "er": "s"}, name="t_bad",
+        )
+
+
+def test_out_direction_max_rejected():
+    from repro.compiler.ir import VNode
+
+    with pytest.raises(CompileError, match="max aggregation over out"):
+        compile_vertex_program(
+            lambda v: VNode.agg("max", v._tracer.nb.h, direction="out"),
+            feature_widths={"h": "v"}, name="t_badmax",
+        )
+
+
+def test_out_in_signatures_differ():
+    a = trace(lambda v: v.agg_sum(lambda nb: nb.h))
+    b = trace(lambda v: v.agg_sum_out(lambda nb: nb.h))
+    assert a.signature() != b.signature()
+
+
+# ---------------------------------------------------------------------------
+# ChebConv
+# ---------------------------------------------------------------------------
+def test_cheb_k1_is_plain_linear(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = ChebConv(4, 3, k=1)
+    out = conv(ex, Tensor(x))
+    assert np.allclose(out.data, x @ conv.weight_0.data + conv.bias.data, atol=1e-5)
+
+
+def test_cheb_matches_dense_recurrence(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = ChebConv(4, 3, k=3)
+    out = conv(ex, Tensor(x))
+    # dense reference: L̂ = -D^{-1/2} A_in D^{-1/2} with in-degree norm
+    A_in = A_out.T
+    d = np.maximum(A_in.sum(1), 1)
+    norm = 1 / np.sqrt(d)
+    L = -(norm[:, None] * A_in * norm[None, :])
+    t0, t1 = x.astype(np.float64), L @ x
+    t2 = 2 * L @ t1 - t0
+    ref = (
+        t0 @ conv.weight_0.data
+        + t1 @ conv.weight_1.data
+        + t2 @ conv.weight_2.data
+        + conv.bias.data
+    )
+    assert np.allclose(out.data, ref, atol=1e-3)
+
+
+def test_cheb_gradients_flow(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = ChebConv(4, 3, k=3)
+    out = conv(ex, Tensor(x, requires_grad=True))
+    F.sum(out).backward()
+    ex.check_drained()
+    for i in range(3):
+        assert getattr(conv, f"weight_{i}").grad is not None
+
+
+def test_cheb_invalid_order():
+    with pytest.raises(ValueError):
+        ChebConv(4, 3, k=0)
+
+
+# ---------------------------------------------------------------------------
+# DConv / DCRNN
+# ---------------------------------------------------------------------------
+def test_dconv_matches_dense(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = DConv(4, 3, k=2, bias=False)
+    out = conv(ex, Tensor(x))
+    d_out = np.maximum(A_out.sum(1), 1)[:, None]
+    d_in = np.maximum(A_out.sum(0), 1)[:, None]
+    walk_fwd = (A_out @ x) / d_out  # mean over out-neighbors
+    walk_bwd = (A_out.T @ x) / d_in  # mean over in-neighbors
+    ref = (
+        x @ conv.weight_self.data
+        + walk_fwd @ conv.weight_fwd_1.data
+        + walk_bwd @ conv.weight_bwd_1.data
+    )
+    assert np.allclose(out.data, ref, atol=1e-3)
+
+
+def test_dconv_k1_self_only(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = DConv(4, 3, k=1, bias=False)
+    out = conv(ex, Tensor(x))
+    assert np.allclose(out.data, x @ conv.weight_self.data, atol=1e-5)
+
+
+def test_dcrnn_trains(setup, rng):
+    n, g, sg, ex, A_out, x = setup
+    model = DCRNN(4, 6, k=2)
+    ys = [rng.standard_normal((n, 6)).astype(np.float32) for _ in range(4)]
+    xs = [Tensor(rng.standard_normal((n, 4)).astype(np.float32)) for _ in range(4)]
+    opt = optim.Adam(model.parameters(), lr=1e-2)
+    losses = []
+    for _ in range(4):
+        opt.zero_grad()
+        h, total = None, None
+        for t in range(4):
+            ex.begin_timestamp(t)
+            h = model(ex, xs[t], h)
+            l = F.mse_loss(h, ys[t])
+            total = l if total is None else F.add(total, l)
+        total.backward()
+        ex.check_drained()
+        opt.step()
+        losses.append(total.item())
+    assert losses[-1] < losses[0]
+
+
+def test_dconv_invalid_k():
+    with pytest.raises(ValueError):
+        DConv(4, 3, k=0)
+
+
+# ---------------------------------------------------------------------------
+# RGCN
+# ---------------------------------------------------------------------------
+def test_rgcn_matches_dense(setup, rng):
+    n, g, sg, ex, A_out, x = setup
+    R = 3
+    conv = RGCNConv(4, 3, num_relations=R, bias=False)
+    relations = rng.integers(0, R, sg.num_edges)
+    out = conv(ex, Tensor(x), relations)
+
+    # dense reference per relation over the labelled edge list
+    bwd = sg.backward_csr()
+    ref = x.astype(np.float64) @ conv.weight_self.data
+    for r in range(R):
+        msg = np.zeros((n, 3))
+        counts = np.zeros(n)
+        for u in range(n):
+            for vv, l in zip(bwd.neighbors(u), bwd.edge_ids(u)):
+                if relations[l] == r:
+                    msg[vv] += x[u] @ getattr(conv, f"weight_rel_{r}").data
+                    counts[vv] += 1
+        ref += msg / np.maximum(counts, 1)[:, None]
+    assert np.allclose(out.data, ref, atol=1e-3)
+
+
+def test_rgcn_single_relation_reduces_to_masked_gcn(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = RGCNConv(4, 3, num_relations=1, bias=False)
+    relations = np.zeros(sg.num_edges, dtype=np.int64)
+    out = conv(ex, Tensor(x), relations)
+    d_in = np.maximum(A_out.sum(0), 1)[:, None]
+    ref = x @ conv.weight_self.data + ((A_out.T @ x) / d_in) @ conv.weight_rel_0.data
+    assert np.allclose(out.data, ref, atol=1e-3)
+
+
+def test_rgcn_gradients_flow(setup, rng):
+    n, g, sg, ex, A_out, x = setup
+    conv = RGCNConv(4, 3, num_relations=2)
+    relations = rng.integers(0, 2, sg.num_edges)
+    out = conv(ex, Tensor(x, requires_grad=True), relations)
+    F.sum(out).backward()
+    ex.check_drained()
+    assert conv.weight_rel_0.grad is not None
+    assert conv.weight_rel_1.grad is not None
+
+
+def test_rgcn_relation_length_mismatch(setup):
+    n, g, sg, ex, A_out, x = setup
+    conv = RGCNConv(4, 3, num_relations=2)
+    with pytest.raises(ValueError, match="entries"):
+        conv(ex, Tensor(x), np.zeros(3, dtype=np.int64))
+
+
+def test_rgcn_invalid_relations():
+    with pytest.raises(ValueError):
+        RGCNConv(4, 3, num_relations=0)

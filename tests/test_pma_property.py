@@ -1,0 +1,96 @@
+"""Property-based PMA testing against a dict reference model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pma import PackedMemoryArray
+
+_key = st.integers(0, 5000)
+_batch = st.lists(st.tuples(_key, st.integers(0, 10**6)), min_size=1, max_size=60)
+
+
+@given(batches=st.lists(_batch, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_inserts_match_dict_model(batches):
+    pma = PackedMemoryArray()
+    model: dict[int, int] = {}
+    for batch in batches:
+        keys = np.array([k for k, _ in batch], dtype=np.int64)
+        vals = np.array([v for _, v in batch], dtype=np.int64)
+        pma.insert_batch(keys, vals)
+        for k, v in batch:
+            model[k] = v
+        pma.check_invariants()
+    ek, ev = pma.export_items()
+    assert ek.tolist() == sorted(model)
+    assert all(model[k] == v for k, v in zip(ek.tolist(), ev.tolist()))
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), _batch),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_mixed_ops_match_dict_model(ops):
+    pma = PackedMemoryArray()
+    model: dict[int, int] = {}
+    for kind, batch in ops:
+        keys = np.array([k for k, _ in batch], dtype=np.int64)
+        if kind == "ins":
+            vals = np.array([v for _, v in batch], dtype=np.int64)
+            pma.insert_batch(keys, vals)
+            for k, v in batch:
+                model[k] = v
+        else:
+            pma.delete_batch(keys)
+            for k in keys.tolist():
+                model.pop(k, None)
+        pma.check_invariants()
+        assert len(pma) == len(model)
+    ek, ev = pma.export_items()
+    assert ek.tolist() == sorted(model)
+    assert all(model[k] == v for k, v in zip(ek.tolist(), ev.tolist()))
+
+
+@given(seed=st.integers(0, 10**6), n=st.integers(1, 3000))
+@settings(max_examples=25, deadline=None)
+def test_bulk_insert_then_full_drain(seed, n):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 10**7, n))
+    pma = PackedMemoryArray()
+    pma.insert_batch(keys, keys * 2)
+    pma.check_invariants()
+    assert len(pma) == len(keys)
+    pma.delete_batch(keys)
+    pma.check_invariants()
+    assert len(pma) == 0
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_density_within_root_bounds_after_batches(seed):
+    rng = np.random.default_rng(seed)
+    pma = PackedMemoryArray()
+    for _ in range(6):
+        keys = np.unique(rng.integers(0, 10**6, rng.integers(10, 400)))
+        pma.insert_batch(keys, keys)
+    # Root density never exceeds tau_root after settling.
+    assert pma.density <= pma.bounds.upper(pma.bounds.height) + 1e-9
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_contains_batch_agrees_with_get(seed):
+    rng = np.random.default_rng(seed)
+    present = np.unique(rng.integers(0, 1000, 100))
+    pma = PackedMemoryArray()
+    pma.insert_batch(present, present)
+    queries = rng.integers(0, 1200, 200)
+    mask = pma.contains_batch(queries)
+    for q, m in zip(queries.tolist(), mask.tolist()):
+        assert m == (pma.get(q) is not None)

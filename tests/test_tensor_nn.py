@@ -1,0 +1,165 @@
+"""Module system, Linear, recurrent cells."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F, init, nn
+
+
+def test_parameter_registration():
+    class M(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.w = nn.Parameter(np.zeros((2, 2)))
+            self.sub = nn.Linear(2, 3)
+
+    m = M()
+    names = dict(m.named_parameters())
+    assert "w" in names
+    assert "sub.weight" in names and "sub.bias" in names
+    assert len(list(m.parameters())) == 3
+
+
+def test_parameter_requires_grad():
+    p = nn.Parameter(np.ones(3))
+    assert p.requires_grad and p.dtype == np.float32
+
+
+def test_zero_grad():
+    lin = nn.Linear(2, 2)
+    out = F.sum(lin(Tensor(np.ones((1, 2), dtype=np.float32))))
+    out.backward()
+    assert lin.weight.grad is not None
+    lin.zero_grad()
+    assert lin.weight.grad is None
+
+
+def test_train_eval_mode():
+    m = nn.Sequential(nn.Linear(2, 2), nn.Linear(2, 2))
+    assert m.training
+    m.eval()
+    assert all(not mod.training for mod in m.modules())
+    m.train()
+    assert all(mod.training for mod in m.modules())
+
+
+def test_state_dict_roundtrip():
+    init.set_seed(0)
+    a = nn.Linear(3, 4)
+    init.set_seed(99)
+    b = nn.Linear(3, 4)
+    assert not np.allclose(a.weight.data, b.weight.data)
+    b.load_state_dict(a.state_dict())
+    assert np.allclose(a.weight.data, b.weight.data)
+
+
+def test_state_dict_mismatch_raises():
+    a = nn.Linear(3, 4)
+    b = nn.Linear(3, 5)
+    with pytest.raises((KeyError, ValueError)):
+        b.load_state_dict(a.state_dict())
+    sd = a.state_dict()
+    sd["extra"] = np.zeros(1)
+    with pytest.raises(KeyError):
+        a.load_state_dict(sd)
+
+
+def test_linear_math(rng):
+    lin = nn.Linear(3, 2)
+    x = rng.standard_normal((5, 3)).astype(np.float32)
+    out = lin(Tensor(x))
+    assert np.allclose(out.data, x @ lin.weight.data + lin.bias.data, atol=1e-6)
+
+
+def test_linear_no_bias():
+    lin = nn.Linear(3, 2, bias=False)
+    assert lin.bias is None
+    assert len(list(lin.parameters())) == 1
+
+
+def test_parameter_count():
+    lin = nn.Linear(3, 4)
+    assert lin.parameter_count() == 3 * 4 + 4
+
+
+def test_gru_cell_shapes_and_range(rng):
+    cell = nn.GRUCell(4, 6)
+    x = Tensor(rng.standard_normal((7, 4)).astype(np.float32))
+    h = Tensor(np.zeros((7, 6), dtype=np.float32))
+    h2 = cell(x, h)
+    assert h2.shape == (7, 6)
+    assert np.abs(h2.data).max() <= 1.0 + 1e-5  # outputs bounded by tanh convexity
+
+
+def test_gru_identity_when_update_gate_saturated(rng):
+    """Forcing z≈1 makes the GRU copy its hidden state."""
+    cell = nn.GRUCell(2, 3)
+    cell.b_z.data[:] = 100.0  # sigmoid -> 1
+    x = Tensor(rng.standard_normal((4, 2)).astype(np.float32))
+    h = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+    h2 = cell(x, h)
+    assert np.allclose(h2.data, h.data, atol=1e-4)
+
+
+def test_gru_grad_flows_through_time(rng):
+    cell = nn.GRUCell(2, 3)
+    x = Tensor(rng.standard_normal((4, 2)).astype(np.float32))
+    h = Tensor(np.zeros((4, 3), dtype=np.float32))
+    for _ in range(3):
+        h = cell(x, h)
+    F.sum(h).backward()
+    for p in cell.parameters():
+        assert p.grad is not None
+
+
+def test_lstm_cell(rng):
+    cell = nn.LSTMCell(4, 5)
+    x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+    h = Tensor(np.zeros((3, 5), dtype=np.float32))
+    c = Tensor(np.zeros((3, 5), dtype=np.float32))
+    h2, c2 = cell(x, h, c)
+    assert h2.shape == (3, 5) and c2.shape == (3, 5)
+    F.sum(h2).backward()
+    assert cell.w_xi.grad is not None
+
+
+def test_lstm_forget_gate_saturated_keeps_cell(rng):
+    cell = nn.LSTMCell(2, 3)
+    cell.b_f.data[:] = 100.0  # forget ≈ 1
+    cell.b_i.data[:] = -100.0  # input ≈ 0
+    x = Tensor(rng.standard_normal((2, 2)).astype(np.float32))
+    c = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+    h = Tensor(np.zeros((2, 3), dtype=np.float32))
+    _, c2 = cell(x, h, c)
+    assert np.allclose(c2.data, c.data, atol=1e-4)
+
+
+def test_module_list():
+    ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+    ml.append(nn.Linear(2, 2))
+    assert len(ml) == 3
+    assert isinstance(ml[0], nn.Linear)
+    m = nn.Sequential(*list(ml))
+    assert len(list(m.parameters())) == 6
+
+
+def test_sequential_forward(rng):
+    m = nn.Sequential(nn.Linear(3, 4), nn.Linear(4, 2))
+    out = m(Tensor(rng.standard_normal((5, 3)).astype(np.float32)))
+    assert out.shape == (5, 2)
+
+
+def test_init_seeding_deterministic():
+    init.set_seed(5)
+    a = init.glorot_uniform((3, 3))
+    init.set_seed(5)
+    b = init.glorot_uniform((3, 3))
+    assert np.array_equal(a.data, b.data)
+
+
+def test_glorot_bounds():
+    w = init.glorot_uniform((100, 100))
+    bound = np.sqrt(6.0 / 200)
+    assert np.abs(w.data).max() <= bound + 1e-6

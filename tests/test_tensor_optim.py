@@ -1,0 +1,124 @@
+"""Optimizer update rules checked against hand-computed steps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F, nn, optim
+from repro.tensor.tensor import Tensor
+
+
+def make_param(value):
+    return nn.Parameter(np.array(value, dtype=np.float32))
+
+
+def test_sgd_step():
+    p = make_param([1.0, 2.0])
+    p.grad = np.array([0.5, -1.0], dtype=np.float32)
+    optim.SGD([p], lr=0.1).step()
+    assert np.allclose(p.data, [0.95, 2.1])
+
+
+def test_sgd_momentum():
+    p = make_param([0.0])
+    opt = optim.SGD([p], lr=1.0, momentum=0.9)
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt.step()  # v=1, p=-1
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt.step()  # v=1.9, p=-2.9
+    assert np.allclose(p.data, [-2.9])
+
+
+def test_sgd_weight_decay():
+    p = make_param([1.0])
+    p.grad = np.array([0.0], dtype=np.float32)
+    optim.SGD([p], lr=0.1, weight_decay=0.5).step()
+    assert np.allclose(p.data, [1.0 - 0.1 * 0.5])
+
+
+def test_adam_first_step_magnitude():
+    """Adam's bias correction makes the first step ≈ lr regardless of grad size."""
+    for gval in (0.001, 1.0, 1000.0):
+        p = make_param([0.0])
+        opt = optim.Adam([p], lr=0.01)
+        p.grad = np.array([gval], dtype=np.float32)
+        opt.step()
+        assert abs(p.data[0] + 0.01) < 1e-4, gval
+
+
+def test_adam_converges_quadratic():
+    p = make_param([5.0])
+    opt = optim.Adam([p], lr=0.1)
+    for _ in range(300):
+        opt.zero_grad()
+        loss = F.mul(p, p)
+        F.sum(loss).backward()
+        opt.step()
+    assert abs(p.data[0]) < 0.05
+
+
+def test_rmsprop_step_direction():
+    p = make_param([1.0])
+    opt = optim.RMSprop([p], lr=0.01)
+    p.grad = np.array([2.0], dtype=np.float32)
+    opt.step()
+    assert p.data[0] < 1.0
+
+
+def test_skip_none_grads():
+    p1, p2 = make_param([1.0]), make_param([1.0])
+    p1.grad = np.array([1.0], dtype=np.float32)
+    optim.Adam([p1, p2], lr=0.1).step()
+    assert p2.data[0] == 1.0 and p1.data[0] != 1.0
+
+
+def test_zero_grad():
+    p = make_param([1.0])
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt = optim.SGD([p], lr=0.1)
+    opt.zero_grad()
+    assert p.grad is None
+
+
+def test_empty_params_raises():
+    with pytest.raises(ValueError):
+        optim.SGD([], lr=0.1)
+
+
+def test_bad_lr_raises():
+    with pytest.raises(ValueError):
+        optim.Adam([make_param([1.0])], lr=-1)
+
+
+def test_clip_grad_norm():
+    p1, p2 = make_param([0.0]), make_param([0.0])
+    p1.grad = np.array([3.0], dtype=np.float32)
+    p2.grad = np.array([4.0], dtype=np.float32)
+    total = optim.clip_grad_norm([p1, p2], max_norm=1.0)
+    assert total == pytest.approx(5.0)
+    new_norm = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+    assert new_norm == pytest.approx(1.0, abs=1e-5)
+
+
+def test_clip_grad_norm_below_threshold_noop():
+    p = make_param([0.0])
+    p.grad = np.array([0.5], dtype=np.float32)
+    optim.clip_grad_norm([p], max_norm=1.0)
+    assert p.grad[0] == pytest.approx(0.5)
+
+
+def test_linear_regression_convergence(rng):
+    """Full loop: Linear + MSE + Adam recovers a planted linear map."""
+    true_w = rng.standard_normal((3, 2)).astype(np.float32)
+    x = rng.standard_normal((200, 3)).astype(np.float32)
+    y = x @ true_w
+    lin = nn.Linear(3, 2)
+    opt = optim.Adam(lin.parameters(), lr=0.05)
+    for _ in range(200):
+        opt.zero_grad()
+        loss = F.mse_loss(lin(Tensor(x)), y)
+        loss.backward()
+        opt.step()
+    assert np.abs(lin.weight.data - true_w).max() < 0.05
+    assert np.abs(lin.bias.data).max() < 0.05

@@ -1,0 +1,99 @@
+"""Property-based tests of the autodiff engine (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, functional as F
+
+_shapes = st.tuples(st.integers(1, 5), st.integers(1, 5))
+
+
+def _arr(shape, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(shape, seed):
+    a, b = _arr(shape, seed), _arr(shape, seed + 1)
+    assert np.array_equal(F.add(Tensor(a), Tensor(b)).data, F.add(Tensor(b), Tensor(a)).data)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_mul_grad_matches_other_operand(shape, seed):
+    a, b = _arr(shape, seed), _arr(shape, seed + 1)
+    ta = Tensor(a, requires_grad=True)
+    F.sum(F.mul(ta, Tensor(b))).backward()
+    assert np.allclose(ta.grad, b, atol=1e-6)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_tanh_grad_bounded(shape, seed):
+    """d tanh ∈ (0, 1]: gradients through tanh never exceed the seed grad."""
+    a = _arr(shape, seed)
+    t = Tensor(a, requires_grad=True)
+    F.sum(F.tanh(t)).backward()
+    assert np.all(t.grad > 0)
+    assert np.all(t.grad <= 1.0 + 1e-6)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_softmax_rows_are_distributions(shape, seed):
+    a = _arr(shape, seed, scale=5.0)
+    s = F.softmax(Tensor(a), axis=1).data
+    assert np.all(s >= 0)
+    assert np.allclose(s.sum(axis=1), 1.0, atol=1e-5)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_sum_grad_is_ones(shape, seed):
+    t = Tensor(_arr(shape, seed), requires_grad=True)
+    F.sum(t).backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@given(
+    n=st.integers(2, 8),
+    f=st.integers(1, 4),
+    e=st.integers(1, 16),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_gather_scatter_adjoint_identity(n, f, e, seed):
+    """⟨scatter(g), x⟩ == ⟨g, gather(x)⟩ — the defining adjoint property."""
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n, e)
+    x = rng.standard_normal((n, f)).astype(np.float32)
+    g = rng.standard_normal((e, f)).astype(np.float32)
+    gathered = F.index_select(Tensor(x), idx).data
+    scattered = F.scatter_add(Tensor(g), idx, n).data
+    assert np.allclose((scattered * x).sum(), (g * gathered).sum(), atol=1e-3)
+
+
+@given(shape=_shapes, seed=st.integers(0, 10_000), lo=st.floats(-1, 0), hi=st.floats(0.1, 1))
+@settings(max_examples=30, deadline=None)
+def test_clip_idempotent(shape, seed, lo, hi):
+    a = _arr(shape, seed, scale=3.0)
+    once = F.clip(Tensor(a), lo, hi).data
+    twice = F.clip(Tensor(once), lo, hi).data
+    assert np.array_equal(once, twice)
+
+
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_chain_rule_power(seed, k):
+    """y = x^k via repeated mul: grad == k·x^(k-1)."""
+    x_val = float(np.random.default_rng(seed).uniform(0.5, 2.0))
+    x = Tensor(np.array([x_val], dtype=np.float32), requires_grad=True)
+    y = x
+    for _ in range(k - 1):
+        y = F.mul(y, x)
+    F.sum(y).backward()
+    assert np.allclose(x.grad, k * x_val ** (k - 1), rtol=1e-3)

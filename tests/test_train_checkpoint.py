@@ -1,0 +1,122 @@
+"""Checkpoint save/load for models and optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import load_hungary_chickenpox
+from repro.tensor import functional as F, init, nn, optim
+from repro.tensor.tensor import Tensor
+from repro.train import (
+    STGraphNodeRegressor,
+    STGraphTrainer,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def test_model_roundtrip(tmp_path):
+    init.set_seed(1)
+    a = nn.Linear(3, 4)
+    init.set_seed(2)
+    b = nn.Linear(3, 4)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(path, a, extra={"epoch": 7})
+    extra = load_checkpoint(path, b)
+    assert extra == {"epoch": 7}
+    assert np.allclose(a.weight.data, b.weight.data)
+    assert np.allclose(a.bias.data, b.bias.data)
+
+
+def test_adam_state_roundtrip(tmp_path, rng):
+    init.set_seed(0)
+    model = nn.Linear(4, 2)
+    opt = optim.Adam(model.parameters(), lr=0.05)
+    x = rng.standard_normal((10, 4)).astype(np.float32)
+    y = rng.standard_normal((10, 2)).astype(np.float32)
+
+    def train_steps(m, o, n):
+        for _ in range(n):
+            o.zero_grad()
+            F.mse_loss(m(Tensor(x)), y).backward()
+            o.step()
+
+    train_steps(model, opt, 5)
+    path = tmp_path / "opt.npz"
+    save_checkpoint(path, model, opt)
+
+    # resumed run must bit-match a continuous run
+    init.set_seed(0)
+    model2 = nn.Linear(4, 2)
+    opt2 = optim.Adam(model2.parameters(), lr=0.05)
+    load_checkpoint(path, model2, opt2)
+    train_steps(model, opt, 3)
+    train_steps(model2, opt2, 3)
+    assert np.allclose(model.weight.data, model2.weight.data, atol=1e-7)
+
+
+def test_sgd_momentum_state_roundtrip(tmp_path, rng):
+    model = nn.Linear(3, 3)
+    opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    x = rng.standard_normal((5, 3)).astype(np.float32)
+    for _ in range(3):
+        opt.zero_grad()
+        F.sum(model(Tensor(x))).backward()
+        opt.step()
+    path = tmp_path / "sgd.npz"
+    save_checkpoint(path, model, opt)
+    model2 = nn.Linear(3, 3)
+    opt2 = optim.SGD(model2.parameters(), lr=0.1, momentum=0.9)
+    load_checkpoint(path, model2, opt2)
+    assert all(
+        (a is None and b is None) or np.allclose(a, b)
+        for a, b in zip(opt._velocity, opt2._velocity)
+    )
+
+
+def test_optimizer_class_mismatch(tmp_path):
+    model = nn.Linear(2, 2)
+    opt = optim.Adam(model.parameters())
+    path = tmp_path / "a.npz"
+    save_checkpoint(path, model, opt)
+    with pytest.raises(ValueError, match="Adam"):
+        load_checkpoint(path, model, optim.SGD(model.parameters(), lr=0.1))
+
+
+def test_missing_optimizer_state(tmp_path):
+    model = nn.Linear(2, 2)
+    path = tmp_path / "noopt.npz"
+    save_checkpoint(path, model)
+    with pytest.raises(ValueError, match="no optimizer"):
+        load_checkpoint(path, model, optim.Adam(model.parameters()))
+
+
+def test_architecture_mismatch_fails(tmp_path):
+    a = nn.Linear(3, 4)
+    path = tmp_path / "arch.npz"
+    save_checkpoint(path, a)
+    with pytest.raises((KeyError, ValueError)):
+        load_checkpoint(path, nn.Linear(3, 5))
+
+
+def test_full_trainer_resume(tmp_path):
+    """Checkpoint mid-training; resumed trajectory matches continuous one."""
+    ds = load_hungary_chickenpox(lags=4, scale=1.0, num_timestamps=10)
+    graph = ds.build_graph()
+
+    init.set_seed(3)
+    model = STGraphNodeRegressor(4, 8)
+    trainer = STGraphTrainer(model, ds.build_graph(), lr=1e-2)
+    trainer.train(ds.features, ds.targets, epochs=3)
+    path = tmp_path / "mid.npz"
+    save_checkpoint(path, model, trainer.optimizer, extra={"epoch": 3})
+    continuous = trainer.train(ds.features, ds.targets, epochs=2)
+
+    init.set_seed(99)  # different init, fully overwritten by the checkpoint
+    model2 = STGraphNodeRegressor(4, 8)
+    trainer2 = STGraphTrainer(model2, graph, lr=1e-2)
+    extra = load_checkpoint(path, model2, trainer2.optimizer)
+    assert extra["epoch"] == 3
+    resumed = trainer2.train(ds.features, ds.targets, epochs=2)
+    assert np.allclose(continuous, resumed, rtol=1e-5)

@@ -1,0 +1,105 @@
+"""Metrics and link-prediction sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import load_sx_mathoverflow
+from repro.graph.labels import encode_edges
+from repro.train import make_link_prediction_samples
+from repro.train.metrics import accuracy_from_logits, mae, rmse, roc_auc
+
+
+def test_mae_rmse():
+    pred = np.array([1.0, 2.0, 3.0])
+    target = np.array([1.0, 0.0, 7.0])
+    assert mae(pred, target) == pytest.approx(2.0)
+    assert rmse(pred, target) == pytest.approx(np.sqrt((0 + 4 + 16) / 3))
+
+
+def test_roc_auc_perfect_separation():
+    scores = np.array([0.9, 0.8, 0.2, 0.1])
+    labels = np.array([1, 1, 0, 0])
+    assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+
+def test_roc_auc_inverted():
+    scores = np.array([0.1, 0.2, 0.8, 0.9])
+    labels = np.array([1, 1, 0, 0])
+    assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+
+def test_roc_auc_random_is_half(rng):
+    scores = rng.random(4000)
+    labels = (rng.random(4000) > 0.5).astype(float)
+    assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+
+def test_roc_auc_handles_ties():
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    labels = np.array([1, 0, 1, 0])
+    assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+
+def test_roc_auc_degenerate_classes():
+    assert np.isnan(roc_auc(np.array([0.1, 0.2]), np.array([1, 1])))
+
+
+def test_accuracy_from_logits():
+    logits = np.array([2.0, -1.0, 0.5, -0.5])
+    labels = np.array([1, 0, 0, 0])
+    assert accuracy_from_logits(logits, labels) == pytest.approx(0.75)
+
+
+# ---------------------------------------------------------------------------
+# Link-prediction sampling
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ds():
+    return load_sx_mathoverflow(scale=0.01, max_snapshots=5)
+
+
+def test_samples_per_timestamp(ds):
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=100, seed=0)
+    assert len(samples) == ds.num_timestamps
+    for s in samples:
+        assert s.pairs.shape[0] == 2
+        assert s.pairs.shape[1] == len(s.labels)
+        assert set(np.unique(s.labels)) <= {0.0, 1.0}
+
+
+def test_samples_balanced(ds):
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=100, seed=0)
+    for s in samples:
+        pos = int(s.labels.sum())
+        neg = len(s.labels) - pos
+        assert pos == neg
+
+
+def test_positives_are_real_edges(ds):
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=64, seed=1)
+    for t, s in enumerate(samples):
+        src, dst = ds.dtdg.snapshot_edges(t)
+        edge_keys = set(encode_edges(src, dst, ds.num_nodes).tolist())
+        pos = s.pairs[:, s.labels > 0.5]
+        keys = encode_edges(pos[0], pos[1], ds.num_nodes)
+        assert all(k in edge_keys for k in keys.tolist())
+
+
+def test_negatives_are_non_edges(ds):
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=64, seed=1)
+    for t, s in enumerate(samples):
+        src, dst = ds.dtdg.snapshot_edges(t)
+        edge_keys = set(encode_edges(src, dst, ds.num_nodes).tolist())
+        neg = s.pairs[:, s.labels < 0.5]
+        keys = encode_edges(neg[0], neg[1], ds.num_nodes)
+        assert not any(k in edge_keys for k in keys.tolist())
+        assert np.all(neg[0] != neg[1])
+
+
+def test_samples_deterministic(ds):
+    a = make_link_prediction_samples(ds.dtdg, 64, seed=5)
+    b = make_link_prediction_samples(ds.dtdg, 64, seed=5)
+    for sa, sb in zip(a, b):
+        assert np.array_equal(sa.pairs, sb.pairs)

@@ -1,0 +1,146 @@
+"""Algorithm 1 training loops on all graph kinds + the baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import load_hungary_chickenpox, load_sx_mathoverflow
+from repro.tensor import init
+from repro.train import (
+    BaselineTrainer,
+    PyGTLinkPredictor,
+    PyGTNodeRegressor,
+    STGraphLinkPredictor,
+    STGraphNodeRegressor,
+    STGraphTrainer,
+    make_link_prediction_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def static_ds():
+    return load_hungary_chickenpox(lags=4, scale=1.0, num_timestamps=12)
+
+
+@pytest.fixture(scope="module")
+def dynamic_ds():
+    return load_sx_mathoverflow(scale=0.01, feature_size=4, max_snapshots=6)
+
+
+def test_regression_training_converges(static_ds):
+    init.set_seed(0)
+    model = STGraphNodeRegressor(4, 8)
+    trainer = STGraphTrainer(model, static_ds.build_graph(), lr=1e-2)
+    losses = trainer.train(static_ds.features, static_ds.targets, epochs=8)
+    assert losses[-1] < losses[0]
+    assert len(trainer.epoch_times) == 8
+
+
+def test_sequence_chunking_same_direction(static_ds):
+    init.set_seed(0)
+    model = STGraphNodeRegressor(4, 8)
+    trainer = STGraphTrainer(model, static_ds.build_graph(), lr=1e-2, sequence_length=4)
+    losses = trainer.train(static_ds.features, static_ds.targets, epochs=6)
+    assert losses[-1] < losses[0]
+
+
+def test_warmup_drops_epoch_times(static_ds):
+    init.set_seed(0)
+    model = STGraphNodeRegressor(4, 8)
+    trainer = STGraphTrainer(model, static_ds.build_graph(), lr=1e-2)
+    trainer.train(static_ds.features, static_ds.targets, epochs=5, warmup=2)
+    assert len(trainer.epoch_times) == 3
+    assert np.isfinite(trainer.mean_epoch_time)
+
+
+def test_naive_and_gpma_identical_trajectories(dynamic_ds):
+    samples = make_link_prediction_samples(dynamic_ds.dtdg, 64, seed=1)
+
+    def train(graph):
+        init.set_seed(3)
+        model = STGraphLinkPredictor(4, 8)
+        trainer = STGraphTrainer(
+            model, graph, lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples,
+        )
+        return trainer.train(dynamic_ds.features, epochs=4)
+
+    ln = train(dynamic_ds.build_naive())
+    lg = train(dynamic_ds.build_gpma())
+    assert np.allclose(ln, lg, atol=1e-3)
+    assert ln[-1] < ln[0]
+
+
+def test_stgraph_matches_baseline_losses(static_ds):
+    """Paper: 'The loss for models compiled with PyG-T and STGraph are
+    similar over all tests' — here identical, same weights and math."""
+    init.set_seed(9)
+    m1 = STGraphNodeRegressor(4, 8)
+    init.set_seed(9)
+    m2 = PyGTNodeRegressor(4, 8)
+    t1 = STGraphTrainer(m1, static_ds.build_graph(), lr=1e-2)
+    t2 = BaselineTrainer(m2, static_ds.to_pygt_signal().edge_index, lr=1e-2)
+    l1 = t1.train(static_ds.features, static_ds.targets, epochs=4)
+    l2 = t2.train(static_ds.features, static_ds.targets, epochs=4)
+    assert np.allclose(l1, l2, rtol=1e-4)
+
+
+def test_link_prediction_baseline_parity(dynamic_ds):
+    samples = make_link_prediction_samples(dynamic_ds.dtdg, 64, seed=2)
+    init.set_seed(21)
+    ms = STGraphLinkPredictor(4, 8)
+    init.set_seed(21)
+    mp = PyGTLinkPredictor(4, 8)
+    ts = STGraphTrainer(ms, dynamic_ds.build_naive(), lr=1e-2, sequence_length=3,
+                        task="link_prediction", link_samples=samples)
+    sig = dynamic_ds.to_pygt_signal()
+    tp = BaselineTrainer(mp, sig.edge_indices, lr=1e-2, sequence_length=3,
+                         task="link_prediction", link_samples=samples)
+    ls = ts.train(dynamic_ds.features, epochs=3)
+    lp = tp.train(dynamic_ds.features, epochs=3)
+    assert np.allclose(ls, lp, rtol=1e-3)
+
+
+def test_link_prediction_needs_samples(dynamic_ds):
+    model = STGraphLinkPredictor(4, 8)
+    with pytest.raises(ValueError, match="link_samples"):
+        STGraphTrainer(model, dynamic_ds.build_naive(), task="link_prediction")
+
+
+def test_unknown_task_rejected(static_ds):
+    model = STGraphNodeRegressor(4, 8)
+    with pytest.raises(ValueError, match="unknown task"):
+        STGraphTrainer(model, static_ds.build_graph(), task="clustering")
+
+
+def test_executor_drained_after_every_epoch(static_ds):
+    init.set_seed(0)
+    model = STGraphNodeRegressor(4, 8)
+    trainer = STGraphTrainer(model, static_ds.build_graph(), lr=1e-2, sequence_length=5)
+    trainer.train(static_ds.features, static_ds.targets, epochs=2)
+    trainer.executor.check_drained()
+
+
+def test_gpma_ends_at_sequence_start_after_epoch(dynamic_ds):
+    samples = make_link_prediction_samples(dynamic_ds.dtdg, 32, seed=0)
+    graph = dynamic_ds.build_gpma()
+    init.set_seed(0)
+    model = STGraphLinkPredictor(4, 8)
+    trainer = STGraphTrainer(model, graph, lr=1e-2, sequence_length=3,
+                             task="link_prediction", link_samples=samples)
+    trainer.train_epoch(dynamic_ds.features)
+    # after the LIFO backward of the last sequence, the graph sits at the
+    # last sequence's first timestamp
+    assert graph.curr_time == 3
+
+
+def test_gpma_cache_used_across_sequences(dynamic_ds):
+    samples = make_link_prediction_samples(dynamic_ds.dtdg, 32, seed=0)
+    graph = dynamic_ds.build_gpma(enable_cache=True)
+    init.set_seed(0)
+    model = STGraphLinkPredictor(4, 8)
+    trainer = STGraphTrainer(model, graph, lr=1e-2, sequence_length=3,
+                             task="link_prediction", link_samples=samples)
+    trainer.train(dynamic_ds.features, epochs=2)
+    assert graph.cache_restores > 0
