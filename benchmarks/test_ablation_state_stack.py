@@ -6,7 +6,6 @@ memory the IR comparison saves is measured, not asserted from theory.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import TemporalExecutor
 from repro.dataset import load_windmill_output

@@ -241,6 +241,9 @@ def fig9_time_breakup(
                 "F": fs,
                 "gnn_%": round(100 * (1 - r.graph_update_fraction), 1),
                 "update_%": round(100 * r.graph_update_fraction, 1),
+                # One-time plan compilation relative to all profiled compute;
+                # 0 when the process-wide plan cache was already warm.
+                "compile_%": round(100 * r.compile_fraction, 1),
             })
     return results, format_table(
         rows, title="Figure 9: % of total time in GNN processing vs graph updates (STGraph-GPMA)"

@@ -39,12 +39,23 @@ class RunResult:
     final_loss: float = 0.0
     gnn_seconds: float = 0.0
     graph_update_seconds: float = 0.0
+    compile_seconds: float = 0.0
 
     @property
     def graph_update_fraction(self) -> float:
         """Share of profiled compute spent on graph updates (Figure 9's y-axis)."""
         denom = self.gnn_seconds + self.graph_update_seconds
         return self.graph_update_seconds / denom if denom > 0 else 0.0
+
+    @property
+    def compile_fraction(self) -> float:
+        """One-time plan compilation relative to all profiled compute.
+
+        Zero for runs whose plans were already warm in the process-wide
+        plan cache — the compile-once/run-every-timestamp amortization.
+        """
+        denom = self.gnn_seconds + self.graph_update_seconds + self.compile_seconds
+        return self.compile_seconds / denom if denom > 0 else 0.0
 
     def row(self) -> dict:
         """Flat JSON-friendly dict for tables and CI tracking."""
@@ -56,6 +67,7 @@ class RunResult:
             "peak_MB": round(self.peak_memory_bytes / 1e6, 3),
             "loss": round(self.final_loss, 4),
             "update_frac": round(self.graph_update_fraction, 3),
+            "compile_s": round(self.compile_seconds, 5),
         }
 
 
@@ -105,6 +117,7 @@ def run_static_experiment(
             final_loss=losses[-1],
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
+            compile_seconds=device.profiler.seconds("compile"),
         )
 
 
@@ -179,4 +192,5 @@ def run_dynamic_experiment(
             final_loss=losses[-1],
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
+            compile_seconds=device.profiler.seconds("compile"),
         )

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["format_table", "ascii_series", "improvement"]
+__all__ = ["format_table", "format_phase_breakdown", "ascii_series", "improvement"]
 
 
 def format_table(rows: Sequence[Mapping], headers: Sequence[str] | None = None, title: str = "") -> str:
@@ -23,6 +23,27 @@ def format_table(rows: Sequence[Mapping], headers: Sequence[str] | None = None, 
     for row in cells:
         out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(out)
+
+
+def format_phase_breakdown(
+    phase_seconds: Mapping[str, float], title: str = "Phase breakdown"
+) -> str:
+    """Render a profiler's per-phase seconds as a share table.
+
+    Pairs with :meth:`repro.device.profiler.Profiler.phase_seconds`; the
+    ``compile`` row shows the one-time plan-compilation cost amortized by
+    the plan cache (zero when every plan was already warm).
+    """
+    total = sum(phase_seconds.values())
+    rows = [
+        {
+            "phase": name,
+            "seconds": round(seconds, 5),
+            "share": f"{100 * seconds / total:.1f}%" if total > 0 else "-",
+        }
+        for name, seconds in phase_seconds.items()
+    ]
+    return format_table(rows, title=title)
 
 
 def ascii_series(

@@ -68,7 +68,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _build_model(name: str, in_features: int, hidden: int):
-    from repro.nn import A3TGCN, DCRNN, GConvGRU, GConvLSTM, TGCN
+    from repro.nn import DCRNN, GConvGRU, GConvLSTM, TGCN
     from repro.tensor import functional as F
     from repro.tensor.nn import Linear, Module
 

@@ -29,10 +29,15 @@ The compiler pipeline then mirrors Seastar's:
 5. **codegen** — emit inspectable Python kernel source (fused single-kernel
    or one-launch-per-op for the fusion ablation) and compile it through the
    device's kernel launcher.
+6. **plan** — package everything into an immutable
+   :class:`~repro.compiler.plan.ProgramPlan`, memoized in the process-wide
+   :func:`~repro.compiler.plan.plan_cache` so identical programs compile
+   once; execution engines (:mod:`repro.core.engine`) run plans.
 """
 
 from repro.compiler.ir import Stage, VNode
 from repro.compiler.symbols import Vertex, trace
+from repro.compiler.plan import PlanCache, ProgramPlan, plan_cache, plan_key
 from repro.compiler.program import VertexProgram, compile_vertex_program
 from repro.compiler.interp import interpret_program, trace_execution
 from repro.compiler.viz import tensor_ir_to_dot, vertex_ir_to_dot
@@ -42,6 +47,10 @@ __all__ = [
     "VNode",
     "Vertex",
     "trace",
+    "ProgramPlan",
+    "PlanCache",
+    "plan_cache",
+    "plan_key",
     "VertexProgram",
     "compile_vertex_program",
     "interpret_program",

@@ -18,7 +18,7 @@ Two modes:
 from __future__ import annotations
 
 from repro.compiler.tir import TOp, TProgram
-from repro.device.kernel import CompiledKernel, compile_kernel_source
+from repro.device.kernel import CompiledKernel
 
 __all__ = ["generate_forward_source", "generate_backward_source", "compile_program", "generate_op_kernels"]
 
@@ -74,7 +74,9 @@ def generate_forward_source(prog: TProgram, saved: list[str], entry: str) -> str
     """Forward kernel: ``entry(ctx, env) -> (out, saved_dict)``."""
     lines = [
         f"def {entry}(ctx, env):",
-        f'    """Generated forward kernel for {prog.name}."""',
+        # The docstring names the entry, not the display name, so source is
+        # byte-identical across re-traces and the launcher can dedup it.
+        f'    """Generated forward kernel {entry}."""',
     ]
     lines += _bind_lines(prog, "env")
     for op in prog.ops:
@@ -89,7 +91,7 @@ def generate_backward_source(prog: TProgram, grad_map: dict[str, str], entry: st
     """Backward kernel: ``entry(ctx, g_out, saved) -> {input_buf: grad}``."""
     lines = [
         f"def {entry}(ctx, g_out, saved):",
-        f'    """Generated backward kernel for {prog.name}."""',
+        f'    """Generated backward kernel {entry}."""',
     ]
     for buf, (kind, _) in prog.inputs.items():
         if kind == "saved":
@@ -104,11 +106,18 @@ def generate_backward_source(prog: TProgram, grad_map: dict[str, str], entry: st
 
 
 def compile_program(source: str, entry: str, meta: dict | None = None) -> CompiledKernel:
-    """Compile generated source against the runtime namespace into a launchable kernel."""
-    from repro.compiler.runtime import RUNTIME_NAMESPACE
+    """Compile generated source against the runtime namespace into a launchable kernel.
 
-    fn = compile_kernel_source(source, entry, globals_extra=dict(RUNTIME_NAMESPACE))
-    return CompiledKernel(name=entry, source=source, fn=fn, arg_names=(), meta=meta or {})
+    Goes through the active device's :meth:`KernelLauncher.compile`, which
+    deduplicates byte-identical generated source — identical kernels compile
+    once per device no matter how many plans request them.
+    """
+    from repro.compiler.runtime import RUNTIME_NAMESPACE
+    from repro.device import current_device
+
+    return current_device().launcher.compile(
+        source, entry, globals_extra=dict(RUNTIME_NAMESPACE), meta=meta
+    )
 
 
 def generate_op_kernels(prog: TProgram, prefix: str) -> list[tuple[TOp, CompiledKernel]]:

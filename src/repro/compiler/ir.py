@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Callable
 
 __all__ = ["Stage", "VNode", "combine_stages"]
 

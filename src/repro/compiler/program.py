@@ -1,9 +1,17 @@
 """The compiled vertex program: the object layers hold and executors run.
 
-``compile_vertex_program`` drives the whole pipeline (trace → lower →
-optimize → autodiff → codegen) and caches compiled kernels in the device's
-kernel launcher keyed by the trace signature plus compile options, so
-re-instantiating a layer reuses kernels exactly like Seastar's kernel cache.
+Since the compile/run split, :class:`VertexProgram` is a thin facade over
+two explicitly separated halves:
+
+* **compile time** — an immutable :class:`~repro.compiler.plan.ProgramPlan`
+  requested from the process-wide :func:`~repro.compiler.plan.plan_cache`,
+  so structurally identical programs (same trace signature + options)
+  compile exactly once no matter how many layers, models, or runs request
+  them;
+* **run time** — an :class:`~repro.core.engine.ExecutionEngine` (the
+  generated-kernel engine by default; the tensor-IR interpreter for
+  differential testing) that launches the plan against a
+  :class:`GraphContext`.
 
 The per-call protocol matches the executor's State Stack discipline:
 
@@ -17,145 +25,156 @@ The per-call protocol matches the executor's State Stack discipline:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
-from repro.compiler.autodiff import build_backward
-from repro.compiler.codegen import (
-    compile_program,
-    generate_backward_source,
-    generate_forward_source,
-    generate_op_kernels,
-)
-from repro.compiler.lower import CompileError, lower_trace
-from repro.compiler.passes import SavedAnalysis, cse, dce, saved_analysis
-from repro.compiler.runtime import GraphContext
-from repro.compiler.symbols import Vertex, trace
 from repro.compiler.ir import VNode
+from repro.compiler.plan import ProgramPlan, plan_cache
+from repro.compiler.runtime import GraphContext
+from repro.compiler.symbols import Vertex
 from repro.device import current_device
-from repro.device.kernel import CompiledKernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.core.engine import ExecutionEngine
 
 __all__ = ["VertexProgram", "compile_vertex_program"]
 
 
 class VertexProgram:
-    """A compiled vertex-centric GNN aggregation."""
+    """A compiled vertex-centric GNN aggregation: cached plan + engine."""
 
     def __init__(
         self,
-        fn: Callable[[Vertex], VNode],
+        fn: Callable[[Vertex], VNode] | None = None,
         feature_widths: Mapping[str, str] | None = None,
         grad_features: set[str] | None = None,
         name: str = "vertex_program",
         fused: bool = True,
         state_stack_opt: bool = True,
         optimize: bool = True,
+        engine: "str | ExecutionEngine" = "kernel",
+        dtype: str = "float32",
+        plan: ProgramPlan | None = None,
     ) -> None:
-        self.name = name
-        self.fused = fused
-        self.state_stack_opt = state_stack_opt
-        self.traced = trace(fn)
-        self.fwd_prog, self._widths = lower_trace(
-            self.traced, dict(feature_widths or {}), name=name
-        )
-        if optimize:
-            cse(self.fwd_prog)
-            dce(self.fwd_prog)
-
-        if grad_features is None:
-            wrt = set(self.fwd_prog.inputs)
-        else:
-            wrt = {
-                buf
-                for buf, (_kind, feat) in self.fwd_prog.inputs.items()
-                if feat in grad_features
-            }
-            missing = grad_features - {feat for _, feat in self.fwd_prog.inputs.values()}
-            if missing:
-                raise CompileError(f"grad_features not read by the program: {sorted(missing)}")
-        bwd_result = build_backward(self.fwd_prog, self._widths, wrt=wrt)
-        self.bwd_prog = bwd_result.prog
-        if optimize:
-            cse(self.bwd_prog)
-            dce(self.bwd_prog)
-            # CSE/DCE may have dropped saved references; recompute.
-            bwd_result.saved = [
-                n for n, (k, _) in self.bwd_prog.inputs.items() if k == "saved"
-            ]
-        self.grad_map = {
-            inp: g for inp, g in bwd_result.grad_map.items() if g in set(self.bwd_prog.outputs)
-        }
-        self.analysis: SavedAnalysis = saved_analysis(self.fwd_prog, self.bwd_prog)
-
-        if state_stack_opt:
-            self._saved_spec = list(bwd_result.saved)
-        else:
-            # Ablation: retain every forward buffer, like a backend without
-            # the IR comparison (the bwd kernel reads a superset-compatible
-            # dict, so correctness is unchanged).
-            self._saved_spec = self.analysis.all_forward_buffers
-
-        self._compile_kernels()
+        if plan is None:
+            if fn is None:
+                raise TypeError("VertexProgram needs a vertex function or a plan")
+            plan = plan_cache().get_or_build(
+                fn,
+                feature_widths=feature_widths,
+                grad_features=grad_features,
+                name=name,
+                fused=fused,
+                state_stack_opt=state_stack_opt,
+                optimize=optimize,
+                dtype=dtype,
+            )
+        self.plan = plan
+        self.name = plan.name if (fn is None and name == "vertex_program") else name
+        # Resolved lazily: repro.core imports this module at package-import
+        # time, so the engine registry may not be loadable yet.
+        self._engine_spec = engine
+        self._engine: "ExecutionEngine | None" = None
 
     # ------------------------------------------------------------------
-    def _cache_key(self, which: str) -> tuple:
-        return (
-            self.traced.signature(),
-            tuple(sorted(self._widths.items())),
-            tuple(self._saved_spec),
-            tuple(sorted(self.grad_map)),
-            self.fused,
-            which,
-        )
+    # Engine selection (per program; executors may override per call)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> "ExecutionEngine":
+        """This program's default execution engine."""
+        if self._engine is None:
+            from repro.core.engine import get_engine
 
-    def _compile_kernels(self) -> None:
-        launcher = current_device().launcher
-        if self.fused:
-            fkey, bkey = self._cache_key("fwd"), self._cache_key("bwd")
-            self.fwd_kernel = launcher.get(fkey)
-            if self.fwd_kernel is None:
-                src = generate_forward_source(self.fwd_prog, self._saved_spec, f"{self.name}_fwd")
-                self.fwd_kernel = launcher.put(fkey, compile_program(src, f"{self.name}_fwd"))
-            self.bwd_kernel = launcher.get(bkey)
-            if self.bwd_kernel is None:
-                src = generate_backward_source(self.bwd_prog, self.grad_map, f"{self.name}_bwd")
-                self.bwd_kernel = launcher.put(bkey, compile_program(src, f"{self.name}_bwd"))
-        else:
-            self._fwd_op_kernels = generate_op_kernels(self.fwd_prog, f"{self.name}_fwd")
-            self._bwd_op_kernels = generate_op_kernels(self.bwd_prog, f"{self.name}_bwd")
+            self._engine = get_engine(self._engine_spec)
+        return self._engine
+
+    def with_engine(self, engine: "str | ExecutionEngine") -> "VertexProgram":
+        """A sibling program sharing this plan but running on ``engine``."""
+        other = VertexProgram(plan=self.plan, engine=engine, name=self.name)
+        return other
 
     # ------------------------------------------------------------------
+    # Plan delegation (the long-standing public surface)
+    # ------------------------------------------------------------------
+    @property
+    def plan_id(self) -> str:
+        """The plan's content-hash identity in the process-wide cache."""
+        return self.plan.plan_id
+
+    @property
+    def traced(self):
+        """The traced vertex IR."""
+        return self.plan.traced
+
+    @property
+    def fwd_prog(self):
+        """The forward tensor program."""
+        return self.plan.fwd_prog
+
+    @property
+    def bwd_prog(self):
+        """The backward tensor program."""
+        return self.plan.bwd_prog
+
+    @property
+    def analysis(self):
+        """The saved-tensor analysis (State Stack manifest)."""
+        return self.plan.analysis
+
+    @property
+    def grad_map(self):
+        """Input buffer → gradient buffer map of the backward program."""
+        return self.plan.grad_map
+
+    @property
+    def _widths(self):
+        """Inferred buffer widths (kept under the historical name)."""
+        return self.plan.widths
+
+    @property
+    def fused(self) -> bool:
+        """Whether the plan compiled to one fused kernel per pass."""
+        return self.plan.fused
+
+    @property
+    def state_stack_opt(self) -> bool:
+        """Whether the saved set was pruned by the IR comparison."""
+        return self.plan.state_stack_opt
+
+    @property
+    def fwd_kernel(self):
+        """The fused forward kernel (None in unfused mode)."""
+        return self.plan.fwd_kernel
+
+    @property
+    def bwd_kernel(self):
+        """The fused backward kernel (None in unfused mode)."""
+        return self.plan.bwd_kernel
+
     @property
     def forward_source(self) -> str:
         """The generated forward kernel's source text."""
-        if self.fused:
-            return self.fwd_kernel.source
-        return "\n".join(k.source for _, k in self._fwd_op_kernels)
+        return self.plan.forward_source
 
     @property
     def backward_source(self) -> str:
         """The generated backward kernel's source text."""
-        if self.fused:
-            return self.bwd_kernel.source
-        return "\n".join(k.source for _, k in self._bwd_op_kernels)
+        return self.plan.backward_source
 
     @property
     def saved_spec(self) -> list[str]:
         """Buffer names pushed to the State Stack per timestamp."""
-        return list(self._saved_spec)
+        return list(self.plan.saved_spec)
 
     def required_features(self) -> tuple[set[str], set[str]]:
         """(node feature names, edge feature names) the program reads."""
-        node, edge = set(), set()
-        for kind, feat in self.fwd_prog.inputs.values():
-            (node if kind == "node" else edge).add(feat)
-        return node, edge
+        return self.plan.required_features()
 
     # ------------------------------------------------------------------
     def _bind(self, ctx: GraphContext, node_feats, edge_feats) -> dict[str, np.ndarray]:
         env: dict[str, np.ndarray] = {}
-        for buf, (kind, feat) in self.fwd_prog.inputs.items():
+        for buf, (kind, feat) in self.plan.fwd_prog.inputs.items():
             if kind == "node":
                 if feat not in node_feats:
                     raise KeyError(f"{self.name}: missing node feature {feat!r}")
@@ -166,38 +185,18 @@ class VertexProgram:
                 env[buf] = ctx.bind_edge_feature(edge_feats[feat])
         return env
 
-    def _launch_config(self, ctx: GraphContext, env: Mapping[str, np.ndarray]):
-        """Feature-adaptive launch shape (Seastar's heuristic), recorded on
-        the kernel for inspection; the simulated device executes the same
-        math regardless, but the configuration model is preserved."""
-        from repro.device import feature_adaptive_config
-
-        feature_size = 1
-        for arr in env.values():
-            if getattr(arr, "ndim", 0) == 2:
-                feature_size = max(feature_size, arr.shape[1])
-        return feature_adaptive_config(max(1, ctx.num_nodes), feature_size)
-
     def forward(
         self,
         ctx: GraphContext,
         node_feats: Mapping[str, np.ndarray],
         edge_feats: Mapping[str, np.ndarray] | None = None,
+        engine: "ExecutionEngine | None" = None,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        """Run the generated forward kernel; returns ``(out, saved_env)``."""
+        """Run the forward pass on ``engine`` (default: this program's own);
+        returns ``(out, saved_env)``."""
         device = current_device()
         env = self._bind(ctx, node_feats, edge_feats)
-        if self.fused:
-            self.fwd_kernel.meta["launch_config"] = self._launch_config(ctx, env)
-            out, saved = device.launcher.launch(self.fwd_kernel, ctx, env)
-        else:
-            for op, kernel in self._fwd_op_kernels:
-                args = [env[n] for n in op.ins if n != "__ones__"]
-                env[op.out] = device.launcher.launch(kernel, ctx, *args)
-            for buf, value in self.fwd_prog.consts.items():
-                env.setdefault(buf, value)
-            out = env[self.fwd_prog.outputs[0]]
-            saved = {name: env[name] for name in self._saved_spec}
+        out, saved = (engine or self.engine).forward(self.plan, ctx, env)
         device.alloc.adopt(np.asarray(out), tag="kernel.out")
         return out, saved
 
@@ -206,25 +205,13 @@ class VertexProgram:
         ctx: GraphContext,
         g_out: np.ndarray,
         saved: Mapping[str, np.ndarray],
+        engine: "ExecutionEngine | None" = None,
     ) -> dict[str, np.ndarray]:
-        """Run the generated backward kernel; returns gradients keyed by feature name."""
-        device = current_device()
-        if self.fused:
-            grads_by_buf = device.launcher.launch(self.bwd_kernel, ctx, g_out, saved)
-        else:
-            env: dict[str, np.ndarray] = {"g_out": g_out}
-            for name, (kind, _) in self.bwd_prog.inputs.items():
-                if kind == "saved":
-                    env[name] = saved[name]
-            for buf, value in self.bwd_prog.consts.items():
-                env[buf] = value
-            for op, kernel in self._bwd_op_kernels:
-                args = [env[n] for n in op.ins if n != "__ones__"]
-                env[op.out] = device.launcher.launch(kernel, ctx, *args)
-            grads_by_buf = {inp: env[g] for inp, g in self.grad_map.items()}
+        """Run the backward pass; returns gradients keyed by feature name."""
+        grads_by_buf = (engine or self.engine).backward(self.plan, ctx, g_out, saved)
         grads: dict[str, np.ndarray] = {}
         for buf, grad in grads_by_buf.items():
-            kind, feat = self.fwd_prog.inputs[buf]
+            kind, feat = self.plan.fwd_prog.inputs[buf]
             if kind == "edge":
                 grad = ctx.edge_grad_to_labels(np.asarray(grad))
             grads[feat] = grad
@@ -232,14 +219,7 @@ class VertexProgram:
 
     def describe(self) -> str:
         """Human-readable compilation report (IR + programs + saved set)."""
-        return "\n\n".join(
-            [
-                f"== vertex IR ==\n{self.traced.root.pretty()}",
-                f"== forward ==\n{self.fwd_prog.render()}",
-                f"== backward ==\n{self.bwd_prog.render()}",
-                f"== state stack ==\n{self.analysis.summary()}",
-            ]
-        )
+        return self.plan.describe()
 
 
 def compile_vertex_program(
@@ -250,8 +230,11 @@ def compile_vertex_program(
     fused: bool = True,
     state_stack_opt: bool = True,
     optimize: bool = True,
+    engine: "str | ExecutionEngine" = "kernel",
+    dtype: str = "float32",
 ) -> VertexProgram:
-    """Compile a vertex-centric function; see :class:`VertexProgram`."""
+    """Compile a vertex-centric function through the plan cache; see
+    :class:`VertexProgram`."""
     return VertexProgram(
         fn,
         feature_widths=feature_widths,
@@ -260,4 +243,6 @@ def compile_vertex_program(
         fused=fused,
         state_stack_opt=state_stack_opt,
         optimize=optimize,
+        engine=engine,
+        dtype=dtype,
     )

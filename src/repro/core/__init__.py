@@ -8,9 +8,20 @@
   into the tensor engine's autodiff through the executor.
 * backend interface — the factory-decoupled boundary that keeps the
   framework backend-agnostic (paper §VI-1).
+* execution engines — the run-time half of the compile/run split: the
+  generated-kernel engine and the tensor-IR interpreter behind one
+  interface, selectable per program or per executor.
 """
 
 from repro.core.stacks import GraphStack, StateStack, StackEntry
+from repro.core.engine import (
+    ExecutionEngine,
+    InterpreterEngine,
+    KernelEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.core.executor import TemporalExecutor
 from repro.core.module import VertexCentricLayer
 from repro.core.backend import BackendInterface, available_backends, get_backend, register_backend
@@ -21,6 +32,12 @@ __all__ = [
     "StackEntry",
     "TemporalExecutor",
     "VertexCentricLayer",
+    "ExecutionEngine",
+    "KernelEngine",
+    "InterpreterEngine",
+    "get_engine",
+    "register_engine",
+    "available_engines",
     "BackendInterface",
     "get_backend",
     "register_backend",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.runtime import GraphContext
+from repro.core.engine import ExecutionEngine, get_engine
 from repro.core.stacks import GraphStack, StateStack
 from repro.device import current_device
 from repro.graph.base import STGraphBase
@@ -31,10 +32,22 @@ __all__ = ["TemporalExecutor"]
 
 
 class TemporalExecutor:
-    """Orchestrates snapshots and saved state across a training sequence."""
+    """Orchestrates snapshots and saved state across a training sequence.
 
-    def __init__(self, graph: STGraphBase) -> None:
+    The executor owns no compilation state: layers hold immutable
+    :class:`~repro.compiler.plan.ProgramPlan` references from the process-wide
+    plan cache, and the executor only supplies run-time structure (contexts,
+    stacks).  Passing ``engine`` overrides every aggregation's execution
+    engine for this executor — e.g. ``engine="interpreter"`` runs a whole
+    model on the tensor-IR interpreter for differential testing; ``None``
+    (default) lets each program use its own engine.
+    """
+
+    def __init__(self, graph: STGraphBase, engine: str | ExecutionEngine | None = None) -> None:
         self.graph = graph
+        self.engine: ExecutionEngine | None = (
+            None if engine is None else get_engine(engine)
+        )
         self.state_stack = StateStack()
         self.graph_stack = GraphStack()
         self._fwd_ctx: GraphContext | None = None
@@ -127,6 +140,11 @@ class TemporalExecutor:
             self._bwd_ctx = GraphContext(self.graph)
         self._bwd_t = t
         return self._bwd_ctx
+
+    # ------------------------------------------------------------------
+    def set_engine(self, engine: str | ExecutionEngine | None) -> None:
+        """Change (or clear, with ``None``) the executor-wide engine override."""
+        self.engine = None if engine is None else get_engine(engine)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

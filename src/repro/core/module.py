@@ -10,8 +10,11 @@ generated backward kernel.  This is the precise point where the paper's
 backend-agnostic — the tape node only uses the generic tape protocol.
 
 :class:`VertexCentricLayer` is the base class for STGraph's GNN layers: it
-compiles the vertex program once per (function, options) signature and
-exposes ``aggregate`` to subclasses.
+requests its :class:`~repro.compiler.plan.ProgramPlan` from the process-wide
+plan cache (so identical layers share one compilation) and exposes
+``aggregate`` to subclasses.  The execution engine resolved for each
+aggregation is, in priority order: the executor's override (differential
+testing / fleet-wide switches), else the program's own engine.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import numpy as np
 
 from repro.compiler.program import VertexProgram, compile_vertex_program
 from repro.compiler.runtime import GraphContext
+from repro.core.engine import ExecutionEngine
 from repro.core.executor import TemporalExecutor
 from repro.device import current_device
 from repro.tensor import nn
@@ -35,7 +39,9 @@ class _GraphAggregationTape:
 
     Implements the context protocol ``Tensor.backward`` expects (``inputs``
     and ``backward(grad)``), but manages its saved state through the
-    executor's stacks rather than tape-local references.
+    executor's stacks rather than tape-local references.  The engine the
+    forward ran on is pinned so forward and backward of one aggregation
+    always execute on the same engine.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class _GraphAggregationTape:
         token: int,
         tensor_slots: list[tuple[str, str]],
         inputs: tuple[Tensor, ...],
+        engine: ExecutionEngine | None = None,
     ) -> None:
         self.program = program
         self.executor = executor
@@ -53,13 +60,14 @@ class _GraphAggregationTape:
         self.token = token
         self.tensor_slots = tensor_slots  # (feature_name, "node" | "edge")
         self.inputs = inputs
+        self.engine = engine
 
     def backward(self, grad: np.ndarray) -> tuple[np.ndarray | None, ...]:
         device = current_device()
         ctx = self.executor.backward_context(self.timestamp)
         saved = self.executor.pop_state(self.token)
         with device.profiler.phase("gnn"):
-            grads = self.program.backward(ctx, grad, saved)
+            grads = self.program.backward(ctx, grad, saved, engine=self.engine)
         return tuple(grads.get(name) for name, _kind in self.tensor_slots)
 
 
@@ -78,6 +86,7 @@ def graph_aggregate(
     ctx: GraphContext = executor.current_context()
     timestamp = executor.current_timestamp
     assert timestamp is not None
+    engine = executor.engine  # None → the program's own engine
 
     node_arrays: dict[str, np.ndarray] = {}
     edge_arrays: dict[str, np.ndarray] = {}
@@ -99,13 +108,14 @@ def graph_aggregate(
             edge_arrays[name] = np.asarray(value)
 
     with device.profiler.phase("gnn"):
-        out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None)
+        out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None, engine=engine)
     out = Tensor(out_np)
 
     if is_grad_enabled() and any(t.requires_grad or t._ctx is not None for t in tensor_inputs):
         token = executor.push_state(saved, tag=program.name)
         out._ctx = _GraphAggregationTape(
-            program, executor, timestamp, token, tensor_slots, tuple(tensor_inputs)
+            program, executor, timestamp, token, tensor_slots, tuple(tensor_inputs),
+            engine=engine,
         )
     return out
 
@@ -121,6 +131,7 @@ class VertexCentricLayer(nn.Module):
         name: str,
         fused: bool = True,
         state_stack_opt: bool = True,
+        engine: str | ExecutionEngine = "kernel",
     ) -> None:
         super().__init__()
         self.program = compile_vertex_program(
@@ -130,7 +141,18 @@ class VertexCentricLayer(nn.Module):
             name=name,
             fused=fused,
             state_stack_opt=state_stack_opt,
+            engine=engine,
         )
+
+    @property
+    def plan(self):
+        """The layer's cached :class:`~repro.compiler.plan.ProgramPlan`."""
+        return self.program.plan
+
+    @property
+    def plan_id(self) -> str:
+        """The plan's content-hash identity in the process-wide cache."""
+        return self.program.plan_id
 
     def aggregate(
         self,

@@ -17,7 +17,7 @@ group while cross-timestamp violations raise.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["StackEntry", "StateStack", "GraphStack"]

@@ -67,12 +67,22 @@ class KernelLauncher:
     Keyed by an arbitrary hashable signature (the compiler uses the IR hash),
     so re-tracing the same vertex-centric function reuses the compiled
     kernel — matching Seastar's kernel cache.
+
+    :meth:`compile` additionally deduplicates at the *source* level: two
+    compilation requests with byte-identical generated source (and the same
+    entry point) share one :class:`CompiledKernel`, so e.g. plans that differ
+    only in a specialization attribute never pay for ``compile()``/``exec``
+    twice.  ``compile_count`` counts actual compilations and
+    ``source_dedup_hits`` counts requests served from the source cache.
     """
 
     def __init__(self) -> None:
         self._cache: dict[Any, CompiledKernel] = {}
+        self._by_source: dict[tuple[str, str], CompiledKernel] = {}
         self.launch_count = 0
         self.launch_seconds = 0.0
+        self.compile_count = 0
+        self.source_dedup_hits = 0
 
     def get(self, key: Any) -> CompiledKernel | None:
         """Cached kernel for ``key``, or None."""
@@ -81,6 +91,31 @@ class KernelLauncher:
     def put(self, key: Any, kernel: CompiledKernel) -> CompiledKernel:
         """Cache ``kernel`` under ``key`` and return it."""
         self._cache[key] = kernel
+        return kernel
+
+    def compile(
+        self,
+        source: str,
+        entry: str,
+        globals_extra: dict[str, Any] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> CompiledKernel:
+        """Compile ``source`` into a launchable kernel, deduplicating by source.
+
+        Identical (entry, source) pairs return the *same* kernel object
+        without recompiling — the NVRTC-cache analogue at the source level.
+        """
+        key = (entry, source)
+        kernel = self._by_source.get(key)
+        if kernel is not None:
+            self.source_dedup_hits += 1
+            return kernel
+        fn = compile_kernel_source(source, entry, globals_extra=globals_extra)
+        kernel = CompiledKernel(
+            name=entry, source=source, fn=fn, arg_names=(), meta=dict(meta or {})
+        )
+        self._by_source[key] = kernel
+        self.compile_count += 1
         return kernel
 
     def launch(self, kernel: CompiledKernel, *args: Any, **kwargs: Any) -> Any:
@@ -93,10 +128,13 @@ class KernelLauncher:
             self.launch_count += 1
 
     def clear(self) -> None:
-        """Drop the cache and reset launch counters."""
+        """Drop the caches and reset launch/compile counters."""
         self._cache.clear()
+        self._by_source.clear()
         self.launch_count = 0
         self.launch_seconds = 0.0
+        self.compile_count = 0
+        self.source_dedup_hits = 0
 
     def __len__(self) -> int:
         return len(self._cache)

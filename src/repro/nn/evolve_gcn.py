@@ -26,7 +26,13 @@ __all__ = ["EvolveGCNO"]
 
 class EvolveGCNO(Module):
     """GCN whose weight matrix evolves through a GRU each timestamp."""
-    def __init__(self, in_features: int, out_features: int, fused: bool = True) -> None:
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        fused: bool = True,
+        engine: str = "kernel",
+    ) -> None:
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
@@ -38,6 +44,7 @@ class EvolveGCNO(Module):
             grad_features={"h"},
             name="gcn_self_loops",
             fused=fused,
+            engine=engine,
         )
         self._weight: Tensor | None = None
 

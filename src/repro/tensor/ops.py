@@ -12,11 +12,10 @@ Broadcasting ops reverse broadcasting in backward via :func:`_unbroadcast`.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 
-from repro.device import current_device
 from repro.tensor.tensor import Tensor, is_grad_enabled
 
 __all__ = ["Function"]

@@ -51,7 +51,7 @@ def test_profile_gpma_training_shows_updates():
     assert 0 <= report.other_seconds <= report.total_seconds
     # shares add to ~100%
     share = (
-        report.gnn_seconds + report.graph_update_seconds
+        report.compile_seconds + report.gnn_seconds + report.graph_update_seconds
         + report.preprocess_seconds + report.other_seconds
     )
     assert share == pytest.approx(report.total_seconds, rel=0.02)

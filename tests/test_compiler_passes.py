@@ -102,24 +102,25 @@ def test_state_stack_opt_off_saves_everything():
 
 
 def test_kernel_cache_reuses_compiled_kernels():
+    from repro.compiler import plan_cache
+
     launcher = current_device().launcher
-    launcher.clear()
     fn = lambda v: v.agg_sum(lambda nb: nb.h)  # noqa: E731
     p1 = compile_vertex_program(fn, feature_widths={"h": "v"}, name="c1")
-    count = len(launcher)
+    hits, compiles = plan_cache().hits, launcher.compile_count
     p2 = compile_vertex_program(fn, feature_widths={"h": "v"}, name="c2")
-    assert len(launcher) == count  # cache hit, nothing new compiled
+    assert plan_cache().hits == hits + 1  # plan-cache hit
+    assert launcher.compile_count == compiles  # nothing new compiled
+    assert p1.plan is p2.plan
     assert p1.fwd_kernel is p2.fwd_kernel
 
 
 def test_kernel_cache_distinguishes_options():
-    launcher = current_device().launcher
-    launcher.clear()
     fn = lambda v: v.agg_sum(lambda nb: nb.h)  # noqa: E731
-    compile_vertex_program(fn, feature_widths={"h": "v"}, name="a")
-    n1 = len(launcher)
-    compile_vertex_program(fn, feature_widths={"h": "v"}, name="b", state_stack_opt=False)
-    assert len(launcher) > n1
+    p1 = compile_vertex_program(fn, feature_widths={"h": "v"}, name="a")
+    p2 = compile_vertex_program(fn, feature_widths={"h": "v"}, name="b", state_stack_opt=False)
+    assert p1.plan_id != p2.plan_id  # different plan key …
+    assert p1.fwd_kernel is not p2.fwd_kernel  # … and a different saved set/kernel
 
 
 def test_generated_source_is_inspectable():
@@ -127,7 +128,9 @@ def test_generated_source_is_inspectable():
         lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm,
         feature_widths={"h": "v", "norm": "s"}, grad_features={"h"}, name="srcchk",
     )
-    assert "def srcchk_fwd(ctx, env):" in p.forward_source
+    # Entry points are content-addressed (plan id), so cached source is
+    # deterministic no matter which layer compiled the plan first.
+    assert f"def {p.plan_id}_fwd(ctx, env):" in p.forward_source
     assert "spmm(ctx, None," in p.forward_source
     assert "spmm_T(ctx, None," in p.backward_source
     assert "return" in p.backward_source

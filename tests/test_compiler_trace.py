@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.compiler.ir import Stage, VNode, combine_stages
+from repro.compiler.ir import Stage, combine_stages
 from repro.compiler.symbols import trace, vfn
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.dataset import gnp_edges, powerlaw_edges, smooth_signal, temporal_edge_stream
 

@@ -13,7 +13,6 @@ import numpy as np
 import pytest
 
 from repro.compiler import compile_vertex_program
-from repro.compiler.runtime import GraphContext
 from repro.core import TemporalExecutor
 from repro.core.module import graph_aggregate
 from repro.graph import DTDG, GPMAGraph, NaiveGraph, StaticGraph

@@ -13,7 +13,6 @@ in this reproduction:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import run_dynamic_experiment, run_static_experiment

@@ -10,7 +10,6 @@ from __future__ import annotations
 import gc
 
 import numpy as np
-import pytest
 
 from repro.dataset import load_hungary_chickenpox, load_sx_mathoverflow
 from repro.device import Device, use_device

@@ -8,12 +8,11 @@ import pytest
 
 from repro.compiler import compile_vertex_program
 from repro.compiler.lower import CompileError
-from repro.compiler.runtime import GraphContext
 from repro.compiler.symbols import trace, vfn
 from repro.core import TemporalExecutor
 from repro.graph import StaticGraph
 from repro.nn import DCRNN, ChebConv, DConv, RGCNConv
-from repro.tensor import Tensor, functional as F, init, optim
+from repro.tensor import Tensor, functional as F, optim
 
 
 @pytest.fixture
