@@ -1,0 +1,90 @@
+"""Snapshot-cache micro-benchmark: CSR/context reuse on vs off.
+
+Every training sequence visits its snapshots twice (forward, then the LIFO
+backward walk).  The (timestamp, version)-keyed CSR cache plus the
+executor's context cache serve the second visit — and every later epoch —
+from the forward pass's builds, so the graph_update share of epoch time
+(Figure 9's y-axis) drops while the computed losses stay bitwise equal.
+"""
+
+import pytest
+
+from repro.bench import run_dynamic_experiment
+from repro.bench.report import format_table
+from repro.dataset import load_sx_mathoverflow
+
+_KW = dict(
+    scale=0.02, feature_size=8, max_snapshots=12,
+    sequence_length=4, epochs=3, warmup=1,
+)
+
+
+def _row(label, r):
+    return {
+        "csr_cache": label,
+        "epoch_s": round(r.per_epoch_seconds, 4),
+        "update_frac": round(r.graph_update_fraction, 3),
+        "csr_hits": r.csr_cache_hits,
+        "csr_misses": r.csr_cache_misses,
+        "ctx_hits": r.ctx_cache_hits,
+        "noop_skipped": r.noop_updates_skipped,
+        "hit_rate": f"{100 * r.csr_cache_hit_rate:.1f}%",
+    }
+
+
+def test_csr_cache_cuts_graph_update_work(benchmark):
+    def run_both():
+        on = run_dynamic_experiment("gpma", load_sx_mathoverflow, csr_cache=True, **_KW)
+        off = run_dynamic_experiment("gpma", load_sx_mathoverflow, csr_cache=False, **_KW)
+        return on, off
+
+    on, off = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(format_table([_row("on", on), _row("off", off)],
+                       title="GPMA snapshot reuse: graph_update share"))
+    # The ablation flag is clean: off records zero reuse of either kind.
+    assert off.csr_cache_hits == 0 and off.ctx_cache_hits == 0
+    assert on.csr_cache_hits + on.ctx_cache_hits > 0
+    # Reuse eliminates rebuilds (Algorithm 3 runs), it never adds them.
+    assert on.csr_cache_misses < off.csr_cache_misses
+    # Pure optimization: training outcomes are identical.
+    assert on.final_loss == pytest.approx(off.final_loss, rel=1e-6)
+
+
+def test_bench_backward_walk_cached(benchmark):
+    """Forward+backward positioning with the CSR cache warm: the backward
+    walk is PMA repositioning only, zero Algorithm 3 runs."""
+    from repro.graph import GPMAGraph
+
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=12)
+    graph = GPMAGraph(ds.dtdg, csr_cache_size=ds.num_timestamps)
+
+    def roundtrip():
+        for t in range(ds.num_timestamps):
+            graph.get_graph(t)
+            graph.forward_csr()
+        for t in range(ds.num_timestamps - 1, -1, -1):
+            graph.get_backward_graph(t)
+            graph.forward_csr()
+
+    benchmark(roundtrip)
+    assert graph.csr_cache_misses == ds.num_timestamps  # first pass only
+
+
+def test_bench_backward_walk_uncached(benchmark):
+    """The same roundtrip with reuse disabled: every repositioning rebuilds."""
+    from repro.graph import GPMAGraph
+
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=12)
+    graph = GPMAGraph(ds.dtdg, enable_csr_cache=False)
+
+    def roundtrip():
+        for t in range(ds.num_timestamps):
+            graph.get_graph(t)
+            graph.forward_csr()
+        for t in range(ds.num_timestamps - 1, -1, -1):
+            graph.get_backward_graph(t)
+            graph.forward_csr()
+
+    benchmark(roundtrip)
+    assert graph.csr_cache_hits == 0

@@ -244,6 +244,12 @@ def fig9_time_breakup(
                 # One-time plan compilation relative to all profiled compute;
                 # 0 when the process-wide plan cache was already warm.
                 "compile_%": round(100 * r.compile_fraction, 1),
+                # Snapshot-reuse counters: positionings served from either
+                # reuse level (executor context or (timestamp, version) CSR
+                # cache) vs fully rebuilt, and empty update batches that
+                # never dirtied the snapshot.
+                "reuse_%": round(100 * r.reuse_rate, 1),
+                "noop_skipped": r.noop_updates_skipped,
             })
     return results, format_table(
         rows, title="Figure 9: % of total time in GNN processing vs graph updates (STGraph-GPMA)"

@@ -40,6 +40,12 @@ class RunResult:
     gnn_seconds: float = 0.0
     graph_update_seconds: float = 0.0
     compile_seconds: float = 0.0
+    # Snapshot/context reuse counters (zero for systems without them).
+    csr_cache_hits: int = 0
+    csr_cache_misses: int = 0
+    noop_updates_skipped: int = 0
+    ctx_cache_hits: int = 0
+    ctx_cache_misses: int = 0
 
     @property
     def graph_update_fraction(self) -> float:
@@ -57,6 +63,25 @@ class RunResult:
         denom = self.gnn_seconds + self.graph_update_seconds + self.compile_seconds
         return self.compile_seconds / denom if denom > 0 else 0.0
 
+    @property
+    def csr_cache_hit_rate(self) -> float:
+        """Fraction of CSR-level positionings served from the reuse cache."""
+        denom = self.csr_cache_hits + self.csr_cache_misses
+        return self.csr_cache_hits / denom if denom > 0 else 0.0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of temporal positionings that skipped the CSR rebuild.
+
+        Each positioning ends one of three ways: an executor context hit
+        (the CSRs are never consulted), a graph-level CSR cache hit, or a
+        full rebuild.  A context miss triggers exactly one CSR-level event,
+        so the three counters partition the positionings.
+        """
+        served = self.ctx_cache_hits + self.csr_cache_hits
+        denom = served + self.csr_cache_misses
+        return served / denom if denom > 0 else 0.0
+
     def row(self) -> dict:
         """Flat JSON-friendly dict for tables and CI tracking."""
         return {
@@ -68,7 +93,22 @@ class RunResult:
             "loss": round(self.final_loss, 4),
             "update_frac": round(self.graph_update_fraction, 3),
             "compile_s": round(self.compile_seconds, 5),
+            "csr_hits": self.csr_cache_hits,
+            "csr_misses": self.csr_cache_misses,
+            "noop_skipped": self.noop_updates_skipped,
         }
+
+
+def _reuse_counters(device: Device) -> dict:
+    """The profiler's snapshot/context reuse counters as RunResult kwargs."""
+    p = device.profiler
+    return {
+        "csr_cache_hits": p.counter("csr_cache_hits"),
+        "csr_cache_misses": p.counter("csr_cache_misses"),
+        "noop_updates_skipped": p.counter("noop_updates_skipped"),
+        "ctx_cache_hits": p.counter("ctx_cache_hits"),
+        "ctx_cache_misses": p.counter("ctx_cache_misses"),
+    }
 
 
 def run_static_experiment(
@@ -118,6 +158,7 @@ def run_static_experiment(
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
             compile_seconds=device.profiler.seconds("compile"),
+            **_reuse_counters(device),
         )
 
 
@@ -136,6 +177,7 @@ def run_dynamic_experiment(
     samples_per_timestamp: int = 128,
     sort_by_degree: bool = True,
     gpma_cache: bool = True,
+    csr_cache: bool = True,
 ) -> RunResult:
     """One cell of Figure 7/8/9: ``system`` ∈ {"naive", "gpma", "pygt"}."""
     from repro.train.models import PyGTLinkPredictor, STGraphLinkPredictor
@@ -173,7 +215,11 @@ def run_dynamic_experiment(
             graph = (
                 ds.build_naive(sort_by_degree=sort_by_degree)
                 if system == "naive"
-                else ds.build_gpma(sort_by_degree=sort_by_degree, enable_cache=gpma_cache)
+                else ds.build_gpma(
+                    sort_by_degree=sort_by_degree,
+                    enable_cache=gpma_cache,
+                    enable_csr_cache=csr_cache,
+                )
             )
             trainer = STGraphTrainer(
                 model,
@@ -193,4 +239,5 @@ def run_dynamic_experiment(
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
             compile_seconds=device.profiler.seconds("compile"),
+            **_reuse_counters(device),
         )

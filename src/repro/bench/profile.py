@@ -31,6 +31,11 @@ class ProfileReport:
     kernel_launches: int
     final_loss: float
     compile_seconds: float = 0.0
+    csr_cache_hits: int = 0
+    csr_cache_misses: int = 0
+    noop_updates_skipped: int = 0
+    ctx_cache_hits: int = 0
+    ctx_cache_misses: int = 0
 
     @property
     def other_seconds(self) -> float:
@@ -64,7 +69,16 @@ class ProfileReport:
             f"graph stack: depth {self.graph_stack_peak_depth} | "
             f"final loss: {self.final_loss:.4f}"
         )
-        return format_table(rows, title=f"Profile ({self.epochs} epochs, {self.total_seconds:.3f}s)") + "\n" + extra
+        reuse = (
+            f"snapshot reuse: csr cache {self.csr_cache_hits} hit / "
+            f"{self.csr_cache_misses} miss | ctx cache {self.ctx_cache_hits} hit / "
+            f"{self.ctx_cache_misses} miss | "
+            f"noop updates skipped: {self.noop_updates_skipped}"
+        )
+        return (
+            format_table(rows, title=f"Profile ({self.epochs} epochs, {self.total_seconds:.3f}s)")
+            + "\n" + extra + "\n" + reuse
+        )
 
 
 def profile_training(build_trainer, features, targets=None, epochs: int = 3) -> ProfileReport:
@@ -100,4 +114,9 @@ def profile_training(build_trainer, features, targets=None, epochs: int = 3) -> 
             kernel_launches=device.launcher.launch_count,
             final_loss=loss,
             compile_seconds=device.profiler.seconds("compile"),
+            csr_cache_hits=device.profiler.counter("csr_cache_hits"),
+            csr_cache_misses=device.profiler.counter("csr_cache_misses"),
+            noop_updates_skipped=device.profiler.counter("noop_updates_skipped"),
+            ctx_cache_hits=device.profiler.counter("ctx_cache_hits"),
+            ctx_cache_misses=device.profiler.counter("ctx_cache_misses"),
         )

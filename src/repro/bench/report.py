@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_phase_breakdown", "ascii_series", "improvement"]
+__all__ = [
+    "format_table",
+    "format_phase_breakdown",
+    "format_reuse_counters",
+    "ascii_series",
+    "improvement",
+]
 
 
 def format_table(rows: Sequence[Mapping], headers: Sequence[str] | None = None, title: str = "") -> str:
@@ -44,6 +50,44 @@ def format_phase_breakdown(
         for name, seconds in phase_seconds.items()
     ]
     return format_table(rows, title=title)
+
+
+def format_reuse_counters(
+    counters: Mapping[str, int], title: str = "Snapshot reuse"
+) -> str:
+    """Render the profiler's reuse counters with hit rates.
+
+    Pairs with :meth:`repro.device.profiler.Profiler.counters`; the
+    ``csr_cache`` row shows how many snapshot positionings were served from
+    the ``(timestamp, version)`` CSR cache instead of re-running Algorithm 3,
+    the ``ctx_cache`` row the executor-level GraphContext reuse, and
+    ``noop_updates_skipped`` the empty update batches that never dirtied the
+    snapshot at all.
+    """
+    def rate(hits: int, misses: int) -> str:
+        total = hits + misses
+        return f"{100 * hits / total:.1f}%" if total else "-"
+
+    rows = [
+        {
+            "cache": "csr_cache",
+            "hits": counters.get("csr_cache_hits", 0),
+            "misses": counters.get("csr_cache_misses", 0),
+            "hit_rate": rate(
+                counters.get("csr_cache_hits", 0), counters.get("csr_cache_misses", 0)
+            ),
+        },
+        {
+            "cache": "ctx_cache",
+            "hits": counters.get("ctx_cache_hits", 0),
+            "misses": counters.get("ctx_cache_misses", 0),
+            "hit_rate": rate(
+                counters.get("ctx_cache_hits", 0), counters.get("ctx_cache_misses", 0)
+            ),
+        },
+    ]
+    table = format_table(rows, title=title)
+    return table + f"\nnoop updates skipped: {counters.get('noop_updates_skipped', 0)}"
 
 
 def ascii_series(

@@ -27,11 +27,18 @@ __all__ = ["GraphContext", "RUNTIME_NAMESPACE"]
 
 
 class GraphContext:
-    """Structural arrays of one snapshot, prepared for kernel launches."""
+    """Structural arrays of one snapshot, prepared for kernel launches.
+
+    ``snapshot_key`` records the graph's ``(position, snapshot_version)``
+    identity at build time — the executor's context cache uses it to decide
+    when a context built for one pass (e.g. forward at ``t``) is valid for
+    another (the LIFO backward step at the same ``t``).
+    """
 
     def __init__(self, graph: STGraphBase, use_degree_order: bool | None = None) -> None:
         fwd: CSR = graph.forward_csr()
         bwd: CSR = graph.backward_csr()
+        self.snapshot_key = graph.snapshot_key()
         self.num_nodes = graph.num_nodes
         self.num_edges = fwd.num_edges
         self.fwd_row = fwd.row_offset

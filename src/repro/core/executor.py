@@ -12,6 +12,16 @@ The executor sits between the model and the graph object:
   the graph via ``Get-Backward-Graph`` and rebuilds the context; each
   aggregation pops its own State Stack entry.
 
+**Context reuse.**  Preparing a :class:`GraphContext` (CSR views, label
+permutations) is structural work billed to ``graph_update``, and a training
+sequence visits every snapshot twice — forward, then again on the LIFO
+backward walk.  Contexts are therefore kept in a small LRU keyed by the
+graph's ``snapshot_key()`` (its snapshot-version content identity): a
+backward step whose key matches the forward pass's build reuses that
+context outright instead of blindly rebuilding, and a no-op update batch
+(which leaves the version untouched) even reuses the previous timestamp's
+context.  See ``docs/EXECUTOR.md`` for the lifecycle rules.
+
 GNN processing time (kernel launches) is attributed to the ``"gnn"``
 profiler phase; everything the graph object does is attributed to
 ``"graph_update"`` inside the graph implementations, giving Figure 9 its
@@ -19,6 +29,8 @@ two-way split.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -43,7 +55,12 @@ class TemporalExecutor:
     (default) lets each program use its own engine.
     """
 
-    def __init__(self, graph: STGraphBase, engine: str | ExecutionEngine | None = None) -> None:
+    def __init__(
+        self,
+        graph: STGraphBase,
+        engine: str | ExecutionEngine | None = None,
+        ctx_cache_size: int = 4,
+    ) -> None:
         self.graph = graph
         self.engine: ExecutionEngine | None = (
             None if engine is None else get_engine(engine)
@@ -55,6 +72,45 @@ class TemporalExecutor:
         self._bwd_ctx: GraphContext | None = None
         self._bwd_t: int | None = None
         self._static_ctx: GraphContext | None = None
+        # snapshot_key() -> GraphContext LRU; disabled when the graph opts
+        # out of snapshot reuse (the enable_csr_cache ablation flag).
+        self.ctx_cache_size = int(ctx_cache_size)
+        self._ctx_cache: OrderedDict[tuple, GraphContext] = OrderedDict()
+        self.ctx_cache_hits = 0
+        self.ctx_cache_misses = 0
+
+    @property
+    def _ctx_cache_enabled(self) -> bool:
+        return self.ctx_cache_size > 0 and getattr(self.graph, "enable_csr_cache", True)
+
+    def _context_for_current(self) -> GraphContext:
+        """Context for the graph's current snapshot, via the keyed LRU.
+
+        The key is the graph's snapshot-version content identity, so the
+        backward walk reuses the forward pass's context and no-op update
+        batches reuse the previous timestamp's — replacing the old blind
+        ``_bwd_ctx`` invalidation on every ``begin_timestamp``.
+        """
+        profiler = current_device().profiler
+        if self._ctx_cache_enabled:
+            key = self.graph.snapshot_key()
+            ctx = self._ctx_cache.get(key)
+            if ctx is not None:
+                self._ctx_cache.move_to_end(key)
+                self.ctx_cache_hits += 1
+                profiler.count("ctx_cache_hits")
+                return ctx
+        # Context preparation (CSR views, label permutations) is structural
+        # work — part of the snapshot cost Figure 9 bills to graph updates.
+        with profiler.phase("graph_update"):
+            ctx = GraphContext(self.graph)
+        if self._ctx_cache_enabled:
+            self.ctx_cache_misses += 1
+            profiler.count("ctx_cache_misses")
+            self._ctx_cache[ctx.snapshot_key] = ctx
+            while len(self._ctx_cache) > self.ctx_cache_size:
+                self._ctx_cache.popitem(last=False)
+        return ctx
 
     # ------------------------------------------------------------------
     # Forward side
@@ -72,11 +128,9 @@ class TemporalExecutor:
         self.graph.get_graph(t)
         self.graph_stack.push(t)
         self._fwd_t = t
-        # Context preparation (CSR views, label permutations) is structural
-        # work — part of the snapshot cost Figure 9 bills to graph updates.
-        with current_device().profiler.phase("graph_update"):
-            self._fwd_ctx = GraphContext(self.graph)
-        # A fresh forward invalidates any stale backward context.
+        self._fwd_ctx = self._context_for_current()
+        # A fresh forward ends any in-flight backward positioning; the
+        # contexts themselves stay reusable through the keyed cache.
         self._bwd_ctx = None
         self._bwd_t = None
         return self._fwd_ctx
@@ -84,7 +138,10 @@ class TemporalExecutor:
     def current_context(self) -> GraphContext:
         """The context prepared by the last ``begin_timestamp``."""
         if self._fwd_ctx is None:
-            raise RuntimeError("begin_timestamp() was never called")
+            raise RuntimeError(
+                "no active forward context: begin_timestamp() was never "
+                "called (or the executor was reset)"
+            )
         return self._fwd_ctx
 
     @property
@@ -136,8 +193,7 @@ class TemporalExecutor:
                 f"backward requested {t}"
             )
         self.graph.get_backward_graph(t)
-        with current_device().profiler.phase("graph_update"):
-            self._bwd_ctx = GraphContext(self.graph)
+        self._bwd_ctx = self._context_for_current()
         self._bwd_t = t
         return self._bwd_ctx
 
@@ -148,9 +204,19 @@ class TemporalExecutor:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Clear stacks (between epochs / after an aborted sequence)."""
+        """Clear stacks and positioning (between epochs / after an aborted
+        sequence).
+
+        Both the forward and backward context pointers are dropped — a
+        surviving ``_fwd_ctx`` would let ``current_context()`` silently
+        return a context positioned at a dead timestamp from the aborted
+        sequence.  The keyed context cache is content-addressed, so it stays
+        valid and is kept.
+        """
         self.state_stack.clear()
         self.graph_stack.clear()
+        self._fwd_ctx = None
+        self._fwd_t = None
         self._bwd_ctx = None
         self._bwd_t = None
 
@@ -162,10 +228,12 @@ class TemporalExecutor:
             raise RuntimeError(f"graph stack not drained: {len(self.graph_stack)} entries left")
 
     def stats(self) -> dict[str, int]:
-        """Peak stack depths/bytes and push counts (diagnostics)."""
+        """Peak stack depths/bytes, push counts, and context-reuse counters."""
         return {
             "state_stack_peak_depth": self.state_stack.peak_depth,
             "state_stack_peak_bytes": self.state_stack.peak_bytes,
             "state_stack_pushes": self.state_stack.total_pushes,
             "graph_stack_peak_depth": self.graph_stack.peak_depth,
+            "ctx_cache_hits": self.ctx_cache_hits,
+            "ctx_cache_misses": self.ctx_cache_misses,
         }

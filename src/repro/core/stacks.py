@@ -33,6 +33,9 @@ class StackEntry:
     timestamp: int
     saved: dict[str, Any]
     tag: str = ""
+    #: bytes as measured at push time; the running total subtracts exactly
+    #: this on pop, so later mutation of ``saved`` cannot skew accounting.
+    bytes_at_push: int = 0
 
     def nbytes(self) -> int:
         """Bytes retained by this entry's saved arrays."""
@@ -43,10 +46,16 @@ class StackEntry:
 
 
 class StateStack:
-    """LIFO store of per-aggregation forward state."""
+    """LIFO store of per-aggregation forward state.
+
+    Byte accounting is O(1) per operation: a running ``_current_bytes``
+    total is updated on push/pop/clear instead of re-summing every retained
+    entry, so long sequences don't pay quadratic bookkeeping.
+    """
 
     def __init__(self) -> None:
         self._entries: list[StackEntry] = []
+        self._current_bytes = 0
         self.peak_depth = 0
         self.peak_bytes = 0
         self.total_pushes = 0
@@ -54,10 +63,12 @@ class StateStack:
     def push(self, timestamp: int, saved: dict[str, Any], tag: str = "") -> int:
         """Push one aggregation's saved state; returns the pop token."""
         entry = StackEntry(next(_tokens), timestamp, saved, tag)
+        entry.bytes_at_push = entry.nbytes()
         self._entries.append(entry)
+        self._current_bytes += entry.bytes_at_push
         self.total_pushes += 1
         self.peak_depth = max(self.peak_depth, len(self._entries))
-        self.peak_bytes = max(self.peak_bytes, self.current_bytes())
+        self.peak_bytes = max(self.peak_bytes, self._current_bytes)
         return entry.token
 
     def pop(self, token: int) -> dict[str, Any]:
@@ -79,14 +90,15 @@ class StateStack:
                         f"{entry.timestamp} under top timestamp {top_ts}"
                     )
                 del self._entries[i]
+                self._current_bytes -= entry.bytes_at_push
                 return entry.saved
             if entry.timestamp != top_ts:
                 break
         raise KeyError(f"state stack entry {token} not found in top timestamp group")
 
     def current_bytes(self) -> int:
-        """Bytes currently retained across all entries."""
-        return sum(e.nbytes() for e in self._entries)
+        """Bytes currently retained across all entries (O(1) running total)."""
+        return self._current_bytes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,6 +111,7 @@ class StateStack:
     def clear(self) -> None:
         """Drop all entries (recovery path; normal draining uses pop)."""
         self._entries.clear()
+        self._current_bytes = 0
 
 
 class GraphStack:

@@ -7,6 +7,16 @@ GPMA/Naive snapshot machinery wraps updates in the ``"graph_update"`` phase,
 and the plan cache wraps trace→codegen pipeline runs in the ``"compile"``
 phase — so the compile-once/run-every-timestamp amortization is directly
 measurable (a warm cache records zero compile time).
+
+Beyond timers, the profiler also accumulates named event **counters**.  The
+snapshot-reuse machinery reports through them: ``csr_cache_hits`` /
+``csr_cache_misses`` (snapshot CSR builds served from / missing the
+``(timestamp, version)`` reuse cache), ``noop_updates_skipped`` (empty
+update batches that left the snapshot version untouched), and
+``ctx_cache_hits`` / ``ctx_cache_misses`` (executor-level
+:class:`~repro.compiler.runtime.GraphContext` reuse).  Counters are
+device-scoped like the timers, so bench runners can report them per
+measured cell.
 """
 
 from __future__ import annotations
@@ -15,12 +25,22 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["PHASES", "PhaseTimer", "Profiler"]
+__all__ = ["PHASES", "COUNTERS", "PhaseTimer", "Profiler"]
 
 #: The phases the framework itself reports: one-time compilation (plan
 #: cache misses), GNN kernel execution, dynamic-graph updates, and dataset
 #: preprocessing.  User code may time arbitrary extra phases.
 PHASES = ("compile", "gnn", "graph_update", "preprocess")
+
+#: The event counters the framework itself reports (snapshot/context reuse).
+#: User code may count arbitrary extra events.
+COUNTERS = (
+    "csr_cache_hits",
+    "csr_cache_misses",
+    "noop_updates_skipped",
+    "ctx_cache_hits",
+    "ctx_cache_misses",
+)
 
 
 class PhaseTimer:
@@ -49,6 +69,7 @@ class Profiler:
     def __init__(self) -> None:
         self._phases: dict[str, PhaseTimer] = {}
         self._stack: list[tuple[str, float]] = []
+        self._counters: dict[str, int] = {}
         self.enabled = True
 
     def _timer(self, name: str) -> PhaseTimer:
@@ -96,6 +117,21 @@ class Profiler:
         """Accumulated seconds for every framework phase (see :data:`PHASES`)."""
         return {name: self.seconds(name) for name in PHASES}
 
+    # -- event counters --------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Accumulate ``n`` occurrences of the named event."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Accumulated count for an event (0 if never counted)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Accumulated counts for every framework counter (see :data:`COUNTERS`)."""
+        return {name: self.counter(name) for name in COUNTERS}
+
     def breakdown(self) -> dict[str, float]:
         """Fraction of total profiled time per phase (sums to 1.0)."""
         total = sum(t.total_seconds for t in self._phases.values())
@@ -104,6 +140,7 @@ class Profiler:
         return {name: t.total_seconds / total for name, t in self._phases.items()}
 
     def reset(self) -> None:
-        """Clear all phases."""
+        """Clear all phases and counters."""
         self._phases.clear()
         self._stack.clear()
+        self._counters.clear()

@@ -14,6 +14,18 @@ Temporal positioning (``get_graph`` / ``get_backward_graph``) implements the
 contract of Algorithms 1-2: after ``get_graph(t)`` the object exposes the
 snapshot at ``t``; ``get_backward_graph(t)`` repositions during the LIFO
 backward walk.
+
+**Snapshot versioning.**  Every graph carries a ``snapshot_version`` that
+identifies the *content* of the snapshot it currently exposes.  The version
+changes only on actual structural change: applying a non-empty update batch
+moves to the (stable, per-timestamp) version of the new snapshot, while
+no-op batches — zero additions and zero deletions — leave it untouched.
+``snapshot_key()`` combines position and version into the key the reuse
+caches are built on: the graph-level CSR cache keys its built
+``(fwd_csr, bwd_csr, in_deg, out_deg)`` artifacts by it, and the executor
+keys :class:`~repro.compiler.runtime.GraphContext` reuse on it, so the LIFO
+backward walk over a sequence reuses the forward pass's builds instead of
+re-running Algorithm 3 per timestamp (see ``docs/EXECUTOR.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ import abc
 
 import numpy as np
 
+from repro.device import current_device
 from repro.graph.csr import CSR
 
 __all__ = ["STGraphBase"]
@@ -36,6 +49,40 @@ class STGraphBase(abc.ABC):
     def __init__(self, num_nodes: int, sort_by_degree: bool = True) -> None:
         self.num_nodes = int(num_nodes)
         self.sort_by_degree = bool(sort_by_degree)
+        #: version of the snapshot currently exposed; bumped only by actual
+        #: structural change (static graphs stay at 0 forever).
+        self.snapshot_version = 0
+        #: whether built snapshots may be reuse-cached by (timestamp, version)
+        #: — also consulted by the executor for GraphContext reuse.
+        self.enable_csr_cache = True
+        # Reuse accounting (mirrored into the device profiler's counters).
+        self.csr_cache_hits = 0
+        self.csr_cache_misses = 0
+        self.noop_updates_skipped = 0
+
+    # -- snapshot identity -------------------------------------------------
+    def snapshot_key(self) -> tuple:
+        """Identity of the currently exposed snapshot: ``(position, version)``.
+
+        Two calls returning equal keys expose bitwise-identical structure, so
+        artifacts built from one (CSRs, :class:`GraphContext`) are valid for
+        the other.  Subclasses with a temporal position refine the first
+        element; the static default never changes.
+        """
+        return (None, self.snapshot_version)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump a reuse counter on self and in the device profiler."""
+        setattr(self, name, getattr(self, name) + n)
+        current_device().profiler.count(name, n)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Snapshot-reuse counters (diagnostics / bench reporting)."""
+        return {
+            "csr_cache_hits": self.csr_cache_hits,
+            "csr_cache_misses": self.csr_cache_misses,
+            "noop_updates_skipped": self.noop_updates_skipped,
+        }
 
     # -- temporal positioning (Algorithm 1/2 contract) -------------------
     @abc.abstractmethod

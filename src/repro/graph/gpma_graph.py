@@ -12,12 +12,22 @@ backward CSR of the same snapshot always agree.  The forward (reverse) CSR
 is produced by Algorithm 3 — :func:`repro.graph.reverse.reverse_gpma_vectorized`
 run directly over the *gapped* PMA storage.
 
+Snapshot builds are **versioned and reuse-cached**: every timestamp is
+assigned a stable snapshot version the first time its content is realized
+(no-op update batches reuse the previous timestamp's version, since the
+content is identical), and built ``(fwd_csr, bwd_csr, in_deg, out_deg)``
+artifacts are kept in a small ``(timestamp, version)``-keyed LRU.  The LIFO
+backward walk over a training sequence therefore repositions the PMA but
+serves every CSR from cache instead of re-running relabelling + Algorithm 3
+— the dominant share of Figure 9's ``graph_update`` time.
+
 All structural work (updates, relabelling, CSR builds) is attributed to the
 ``"graph_update"`` profiler phase; Figure 9 plots its share of epoch time.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,20 +49,40 @@ class _CachedState:
     """A saved PMA state (Algorithm 2's graph cache)."""
 
     time: int
+    version: int
     keys: np.ndarray
     values: np.ndarray
     counts: np.ndarray
     n_items: int
 
 
+@dataclass
+class _BuiltSnapshot:
+    """One (timestamp, version) entry of the CSR reuse cache."""
+
+    fwd: CSR
+    bwd: CSR
+    in_deg: np.ndarray
+    out_deg: np.ndarray
+
+
 class GPMAGraph(STGraphBase):
     """DTDG as base graph + PMA-backed updates; snapshots built on demand (Algorithm 2)."""
     graph_type = "gpma"
 
-    def __init__(self, dtdg: DTDG, sort_by_degree: bool = True, enable_cache: bool = True) -> None:
+    def __init__(
+        self,
+        dtdg: DTDG,
+        sort_by_degree: bool = True,
+        enable_cache: bool = True,
+        enable_csr_cache: bool = True,
+        csr_cache_size: int = 4,
+    ) -> None:
         super().__init__(dtdg.num_nodes, sort_by_degree)
         self.dtdg = dtdg
         self.enable_cache = enable_cache
+        self.enable_csr_cache = bool(enable_csr_cache) and csr_cache_size > 0
+        self.csr_cache_size = int(csr_cache_size)
         profiler = current_device().profiler
         with profiler.phase("preprocess"):
             src, dst = dtdg.snapshot_edges(0)
@@ -66,6 +96,18 @@ class GPMAGraph(STGraphBase):
         self._bwd: CSR | None = None
         self._in_deg: np.ndarray | None = None
         self._out_deg: np.ndarray | None = None
+        # Snapshot versioning: each timestamp gets a stable version the first
+        # time its content is realized; no-op updates inherit the previous
+        # timestamp's version (identical content).  ``_version_counter`` only
+        # allocates (monotonically), so a version is never reused for
+        # different content.
+        self._ts_versions: dict[int, int] = {0: 0}
+        self._version_counter = 0
+        # (timestamp, version) -> _BuiltSnapshot LRU (Algorithm 3 reuse).
+        self._csr_cache: OrderedDict[tuple[int, int], _BuiltSnapshot] = OrderedDict()
+        # One hit/miss is recorded per temporal positioning (not per CSR
+        # accessor call); reset on every _advance.
+        self._reuse_counted = False
         # Counters for the ablation benchmarks.
         self.update_batches_applied = 0
         self.cache_restores = 0
@@ -99,6 +141,7 @@ class GPMAGraph(STGraphBase):
         with current_device().profiler.phase("graph_update"):
             self._cache = _CachedState(
                 time=self.curr_time,
+                version=self.snapshot_version,
                 keys=self.pma.keys.copy(),
                 values=self.pma.values.copy(),
                 counts=self.pma.segment_counts(),
@@ -117,39 +160,75 @@ class GPMAGraph(STGraphBase):
         self.pma.n_items = cache.n_items
         self.pma._refresh_seg_min()
         self.curr_time = cache.time
+        # The restored snapshot keeps the version it was assigned when first
+        # realized, so its built CSRs remain valid cache entries.
+        self.snapshot_version = cache.version
+        self._dirty = True
         self.cache_restores += 1
+
+    def snapshot_key(self) -> tuple:
+        """Content identity of the snapshot the PMA currently holds.
+
+        The stable version alone identifies content: no-op chains share a
+        version, a revisited timestamp restores its recorded one, and fresh
+        versions are only ever allocated for newly realized content — so a
+        version match implies bitwise-identical structure.  The executor
+        keys :class:`~repro.compiler.runtime.GraphContext` reuse on this,
+        which lets a no-op boundary reuse the previous timestamp's context.
+        """
+        return (None, self.snapshot_version)
 
     def _advance(self, t: int) -> None:
         if not (0 <= t < self.dtdg.num_timestamps):
             raise IndexError(f"timestamp {t} out of range [0, {self.dtdg.num_timestamps})")
+        self._reuse_counted = False
         if t == self.curr_time:
             return
         # Algorithm 2 lines 1-5: retrieving the cached graph is worthwhile
-        # when it is a closer starting point than the current position.
+        # whenever it is a closer starting point than the current position —
+        # updates are reversible, so this holds for rewinds past the cache
+        # just as much as for forward jumps onto it.
         if (
             self.enable_cache
             and self._cache is not None
-            and self._cache.time <= t
             and abs(t - self._cache.time) < abs(t - self.curr_time)
         ):
             self._restore_cache()
         while self.curr_time < t:
-            self._apply_update(self.dtdg.updates[self.curr_time + 1], forward=True)
+            self._apply_update(self.dtdg.updates[self.curr_time + 1], forward=True, ts_new=self.curr_time + 1)
             self.curr_time += 1
         while self.curr_time > t:
-            self._apply_update(self.dtdg.updates[self.curr_time], forward=False)
+            self._apply_update(self.dtdg.updates[self.curr_time], forward=False, ts_new=self.curr_time - 1)
             self.curr_time -= 1
-        self._dirty = True
 
-    def _apply_update(self, update, forward: bool) -> None:
-        """One ``edge_update_t`` batch (Algorithm 2 line 7)."""
+    def _apply_update(self, update, forward: bool, ts_new: int) -> None:
+        """One ``edge_update_t`` batch (Algorithm 2 line 7) arriving at ``ts_new``.
+
+        No-op batches (zero additions and zero deletions) neither dirty the
+        snapshot nor change its version: the content at ``ts_new`` is
+        bitwise identical to the current one, so the built CSRs stay valid.
+        """
         upd = update if forward else update.reversed()
+        if len(upd.del_src) == 0 and len(upd.add_src) == 0:
+            self._count("noop_updates_skipped")
+            self._ts_versions.setdefault(ts_new, self.snapshot_version)
+            self.snapshot_version = self._ts_versions[ts_new]
+            return
         if len(upd.del_src):
             self.pma.delete_batch(encode_edges(upd.del_src, upd.del_dst, self.num_nodes))
         if len(upd.add_src):
             keys = encode_edges(upd.add_src, upd.add_dst, self.num_nodes)
             self.pma.insert_batch(keys, keys)
         self.update_batches_applied += 1
+        ver = self._ts_versions.get(ts_new)
+        if ver is None:
+            # First time this timestamp's content is realized: allocate a
+            # fresh (monotonically increasing) version for it.
+            self._version_counter += 1
+            ver = self._version_counter
+            self._ts_versions[ts_new] = ver
+        self.snapshot_version = ver
+        self._dirty = True
 
     # ------------------------------------------------------------------
     # Snapshot materialization (relabel + Algorithm 3)
@@ -219,8 +298,40 @@ class GPMAGraph(STGraphBase):
             self._dirty = False
 
     def _ensure_built(self) -> None:
-        if self._dirty or self._fwd is None:
-            self._rebuild()
+        """Serve the current snapshot's artifacts, via the reuse cache.
+
+        One ``csr_cache_hits``/``csr_cache_misses`` event is recorded per
+        temporal positioning: a hit when the ``(timestamp, version)`` pair is
+        served without re-running relabelling + Algorithm 3 (either the
+        current build is still valid or the LRU holds it), a miss when a
+        rebuild was unavoidable.
+        """
+        if not self._dirty and self._fwd is not None:
+            if self.enable_csr_cache and not self._reuse_counted:
+                self._reuse_counted = True
+                self._count("csr_cache_hits")
+            return
+        key = (self.curr_time, self.snapshot_version)
+        if self.enable_csr_cache:
+            cached = self._csr_cache.get(key)
+            if cached is not None:
+                self._csr_cache.move_to_end(key)
+                self._fwd, self._bwd = cached.fwd, cached.bwd
+                self._in_deg, self._out_deg = cached.in_deg, cached.out_deg
+                self._dirty = False
+                if not self._reuse_counted:
+                    self._reuse_counted = True
+                    self._count("csr_cache_hits")
+                return
+        self._rebuild()
+        if not self._reuse_counted:
+            self._reuse_counted = True
+            self._count("csr_cache_misses")
+        if self.enable_csr_cache:
+            self._csr_cache[key] = _BuiltSnapshot(self._fwd, self._bwd, self._in_deg, self._out_deg)
+            self._csr_cache.move_to_end(key)
+            while len(self._csr_cache) > self.csr_cache_size:
+                self._csr_cache.popitem(last=False)
 
     def forward_csr(self) -> CSR:
         """Current snapshot's reverse CSR (Algorithm 3 over the gapped storage)."""

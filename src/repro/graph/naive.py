@@ -57,6 +57,9 @@ class NaiveGraph(STGraphBase):
                     tag="naive.out_deg",
                 )
                 self._snapshots.append(_Snapshot(fwd, bwd, in_deg, out_deg))
+                # Every snapshot's CSRs are built exactly once, up front:
+                # each build is one (timestamp, 0) miss of the reuse cache.
+                self._count("csr_cache_misses")
         self._current = 0
 
     @property
@@ -77,7 +80,15 @@ class NaiveGraph(STGraphBase):
         """Point at the pre-built snapshot for the backward step."""
         with current_device().profiler.phase("graph_update"):
             self._current = int(timestamp)
+            # The backward walk reuses the forward build keyed (t, 0):
+            # structurally free here, but counted so all dynamic graphs
+            # report the same reuse statistics.
+            self._count("csr_cache_hits")
         return self
+
+    def snapshot_key(self) -> tuple:
+        """``(timestamp, 0)``: snapshots are immutable, version never bumps."""
+        return (self._current, self.snapshot_version)
 
     def forward_csr(self) -> CSR:
         """Current snapshot's reverse CSR."""

@@ -58,6 +58,23 @@ def test_gpma_cache_flag_runs():
     assert a.final_loss == pytest.approx(b.final_loss, rel=1e-4)
 
 
+def test_csr_cache_flag_ablates_reuse():
+    on = run_dynamic_experiment(
+        "gpma", load_sx_mathoverflow, csr_cache=True,
+        sequence_length=2, **_FAST_DYNAMIC,
+    )
+    off = run_dynamic_experiment(
+        "gpma", load_sx_mathoverflow, csr_cache=False,
+        sequence_length=2, **_FAST_DYNAMIC,
+    )
+    # Reuse is a pure optimization: identical training, fewer rebuilds.
+    assert on.final_loss == pytest.approx(off.final_loss, rel=1e-4)
+    assert on.csr_cache_hits + on.ctx_cache_hits > 0
+    assert off.csr_cache_hits == 0 and off.ctx_cache_hits == 0
+    assert on.csr_cache_misses < off.csr_cache_misses
+    assert 0.0 < on.csr_cache_hit_rate <= 1.0
+
+
 def test_dynamic_runs_isolated_devices():
     """Consecutive runs must not share memory accounting."""
     a = run_dynamic_experiment("naive", load_sx_mathoverflow, **_FAST_DYNAMIC)
@@ -76,3 +93,4 @@ def test_run_result_rows_serializable():
 
     r = run_static_experiment("stgraph", load_hungary_chickenpox, **_FAST_STATIC)
     json.dumps(r.row())  # must be plain JSON types
+    assert {"csr_hits", "csr_misses", "noop_skipped"} <= set(r.row())

@@ -150,6 +150,86 @@ def test_stats_reporting(static_graph, sum_program, rng):
     assert stats["state_stack_peak_depth"] == 1
 
 
+def test_reset_clears_forward_context(dtdg):
+    ex = TemporalExecutor(NaiveGraph(dtdg))
+    ex.begin_timestamp(2)
+    assert ex.current_timestamp == 2
+    ex.reset()
+    assert ex.current_timestamp is None
+    with pytest.raises(RuntimeError, match="reset"):
+        ex.current_context()  # must not serve the dead sequence's context
+
+
+def test_backward_reuses_forward_context(dtdg):
+    """The LIFO backward walk gets the forward pass's contexts back, keyed
+    on snapshot identity — no blind invalidation, no rebuild."""
+    ex = TemporalExecutor(GPMAGraph(dtdg))
+    fwd = [ex.begin_timestamp(t) for t in range(4)]
+    ex.end_sequence_forward()
+    for t in range(3, -1, -1):
+        assert ex.backward_context(t) is fwd[t]
+    assert ex.ctx_cache_hits == 4
+    assert ex.ctx_cache_misses == 4  # the forward builds
+
+
+def test_backward_zero_csr_rebuilds(dtdg, fresh_device):
+    """With both cache levels on, the whole backward walk re-runs
+    Algorithm 3 exactly zero times."""
+    ex = TemporalExecutor(GPMAGraph(dtdg))
+    for t in range(4):
+        ex.begin_timestamp(t)
+        ex.current_context().fwd_row  # touch like a kernel would
+    ex.end_sequence_forward()
+    misses_after_fwd = fresh_device.profiler.counter("csr_cache_misses")
+    for t in range(3, -1, -1):
+        ex.backward_context(t)
+    assert fresh_device.profiler.counter("csr_cache_misses") == misses_after_fwd
+
+
+def test_noop_timestamp_reuses_context():
+    """A no-op update batch keeps the snapshot version, so the next
+    timestamp reuses the previous context object outright."""
+    edges = np.array([(0, 1), (1, 2), (2, 0)], dtype=np.int64)
+    snap = (edges[:, 0].copy(), edges[:, 1].copy())
+    graph = GPMAGraph(DTDG([snap, snap], 4))
+    ex = TemporalExecutor(graph)
+    c0 = ex.begin_timestamp(0)
+    c1 = ex.begin_timestamp(1)
+    assert c1 is c0
+    assert ex.ctx_cache_hits == 1
+    assert graph.noop_updates_skipped == 1
+
+
+def test_ctx_cache_follows_graph_ablation_flag(dtdg):
+    ex = TemporalExecutor(GPMAGraph(dtdg, enable_csr_cache=False))
+    fwd = [ex.begin_timestamp(t) for t in range(4)]
+    ex.end_sequence_forward()
+    for t in range(3, -1, -1):
+        assert ex.backward_context(t) is not fwd[t]  # rebuilt every step
+    assert ex.ctx_cache_hits == 0
+    assert ex.ctx_cache_misses == 0  # cache fully bypassed, not just missing
+
+
+def test_single_timestamp_sequence_pops_stack(dtdg, sum_program, rng):
+    """Length-1 sequences: the backward step must pop the graph stack even
+    when the context is served from the cache."""
+    ex = TemporalExecutor(GPMAGraph(dtdg))
+    for _ in range(2):
+        ex.begin_timestamp(0)
+        x = Tensor(rng.standard_normal((8, 2)).astype(np.float32), requires_grad=True)
+        out = graph_aggregate(sum_program, ex, {"h": x})
+        F.sum(out).backward()
+        ex.check_drained()
+
+
+def test_stats_include_ctx_counters(dtdg):
+    ex = TemporalExecutor(GPMAGraph(dtdg))
+    ex.begin_timestamp(0)
+    stats = ex.stats()
+    assert stats["ctx_cache_misses"] == 1
+    assert stats["ctx_cache_hits"] == 0
+
+
 def test_gnn_time_profiled(static_graph, sum_program, rng, fresh_device):
     ex = TemporalExecutor(static_graph)
     ex.begin_timestamp(0)

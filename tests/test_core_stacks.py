@@ -69,6 +69,38 @@ def test_state_stack_peak_depth_and_pushes():
     assert s.total_pushes == 5
 
 
+def test_state_stack_running_bytes_matches_recompute(rng):
+    """The O(1) running total stays exactly equal to a full re-summation
+    through an arbitrary push/pop interleaving."""
+    s = StateStack()
+    live = []
+    for step in range(200):
+        if live and rng.random() < 0.4:
+            tok = live.pop(-1 if rng.random() < 0.7 else rng.integers(len(live)))
+            try:
+                s.pop(tok)
+            except (RuntimeError, KeyError):
+                live.append(tok)  # cross-timestamp pop rejected: keep it
+        else:
+            size = int(rng.integers(0, 300))
+            live.append(s.push(step // 10, {"x": np.zeros(size, dtype=np.float32)}))
+        assert s.current_bytes() == sum(e.nbytes() for e in s._entries)
+        assert s.peak_bytes >= s.current_bytes()
+    s.clear()
+    assert s.current_bytes() == 0
+
+
+def test_state_stack_accounting_immune_to_mutation():
+    """Mutating a saved dict after push must not corrupt the running total:
+    pop subtracts the bytes measured at push time."""
+    s = StateStack()
+    saved = {"x": np.zeros(100, dtype=np.float32)}
+    tok = s.push(0, saved)
+    saved["y"] = np.zeros(1000, dtype=np.float32)  # grew after the fact
+    s.pop(tok)
+    assert s.current_bytes() == 0
+
+
 def test_state_stack_clear():
     s = StateStack()
     s.push(0, {"a": 1})

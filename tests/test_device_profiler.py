@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.device import Profiler
+from repro.device import COUNTERS, Profiler
 
 
 def test_single_phase_accumulates():
@@ -78,6 +78,28 @@ def test_exception_inside_phase_still_recorded():
         with p.phase("a"):
             raise ValueError("boom")
     assert p.calls("a") == 1
+
+
+def test_event_counters():
+    p = Profiler()
+    p.count("csr_cache_hits")
+    p.count("csr_cache_hits", 2)
+    assert p.counter("csr_cache_hits") == 3
+    assert p.counter("never_counted") == 0
+    snapshot = p.counters()
+    assert set(snapshot) == set(COUNTERS)
+    assert snapshot["csr_cache_hits"] == 3
+
+
+def test_counters_respect_enabled_and_reset():
+    p = Profiler()
+    p.enabled = False
+    p.count("csr_cache_hits")
+    assert p.counter("csr_cache_hits") == 0
+    p.enabled = True
+    p.count("ctx_cache_misses")
+    p.reset()
+    assert p.counter("ctx_cache_misses") == 0
 
 
 def test_sibling_phases_inside_outer():

@@ -1,0 +1,264 @@
+"""Snapshot versioning and the (timestamp, version) CSR reuse cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DTDG, GPMAGraph, NaiveGraph
+
+
+@pytest.fixture
+def random_dtdg(rng):
+    n = 30
+    keys = set()
+    while len(keys) < 90:
+        s, d = rng.integers(0, n, 2)
+        if s != d:
+            keys.add((int(s), int(d)))
+    snaps = []
+    for t in range(6):
+        if t:
+            for k in sorted(keys)[:5]:
+                keys.discard(k)
+            while len(keys) < 90:
+                s, d = rng.integers(0, n, 2)
+                if s != d:
+                    keys.add((int(s), int(d)))
+        arr = np.array(sorted(keys), dtype=np.int64)
+        snaps.append((arr[:, 0].copy(), arr[:, 1].copy()))
+    return DTDG(snaps, n)
+
+
+@pytest.fixture
+def noop_dtdg():
+    """Four snapshots where t1 repeats t0 and t3 repeats t2 (no-op batches)."""
+    n = 6
+    base = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    bigger = base + [(4, 5), (5, 0)]
+    snaps = []
+    for edges in (base, base, bigger, bigger):
+        arr = np.array(sorted(edges), dtype=np.int64)
+        snaps.append((arr[:, 0].copy(), arr[:, 1].copy()))
+    return DTDG(snaps, n)
+
+
+def _edge_set(graph):
+    bwd = graph.backward_csr()
+    out = set()
+    for u in range(graph.num_nodes):
+        for v in bwd.neighbors(u):
+            out.add((int(u), int(v)))
+    return out
+
+
+def _snapshot_edge_set(dtdg, t):
+    s, d = dtdg.snapshot_edges(t)
+    return set(zip(s.tolist(), d.tolist()))
+
+
+# ---------------------------------------------------------------------------
+# Tentpole acceptance: the backward walk rebuilds nothing
+# ---------------------------------------------------------------------------
+def test_backward_walk_serves_all_csrs_from_cache(random_dtdg):
+    T = random_dtdg.num_timestamps
+    gg = GPMAGraph(random_dtdg, csr_cache_size=T)
+    for t in range(T):
+        gg.get_graph(t)
+        gg.forward_csr()
+    assert gg.csr_cache_misses == T  # every snapshot built exactly once
+    assert gg.csr_cache_hits == 0
+    gg.cache_snapshot()
+    for t in range(T - 1, -1, -1):
+        gg.get_backward_graph(t)
+        gg.forward_csr()
+        gg.backward_csr()
+        assert _edge_set(gg) == _snapshot_edge_set(random_dtdg, t)
+    # Zero CSR rebuilds on the backward walk: one hit per timestamp.
+    assert gg.csr_cache_hits == T
+    assert gg.csr_cache_misses == T
+
+
+def test_cached_csrs_match_fresh_builds(random_dtdg):
+    """LRU-served artifacts are the same structure a cold build produces."""
+    gg = GPMAGraph(random_dtdg, csr_cache_size=random_dtdg.num_timestamps)
+    ng = NaiveGraph(random_dtdg)
+    for t in range(random_dtdg.num_timestamps):
+        gg.get_graph(t)
+        gg.forward_csr()
+    for t in range(random_dtdg.num_timestamps - 1, -1, -1):
+        gg.get_backward_graph(t)
+        ng.get_backward_graph(t)
+        assert _edge_set(gg) == _edge_set(ng)
+        assert np.array_equal(gg.in_degrees(), ng.in_degrees())
+        assert np.array_equal(gg.out_degrees(), ng.out_degrees())
+        gg.validate_label_consistency()
+
+
+def test_lru_stays_bounded(random_dtdg):
+    gg = GPMAGraph(random_dtdg, csr_cache_size=2)
+    for t in list(range(6)) + [4, 3, 2, 1, 0]:
+        gg.get_graph(t)
+        gg.forward_csr()
+        assert len(gg._csr_cache) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Snapshot versioning
+# ---------------------------------------------------------------------------
+def test_version_bumps_only_on_structural_change(noop_dtdg):
+    gg = GPMAGraph(noop_dtdg)
+    gg.get_graph(0)
+    fwd0 = gg.forward_csr()
+    assert gg.snapshot_version == 0
+
+    gg.get_graph(1)  # no-op batch: same content as t0
+    assert gg.snapshot_version == 0
+    assert gg.noop_updates_skipped == 1
+    assert gg.forward_csr() is fwd0  # not even re-derived, let alone rebuilt
+    assert gg.csr_cache_misses == 1  # only the t0 build
+
+    gg.get_graph(2)  # real batch
+    assert gg.snapshot_version == 1
+    gg.forward_csr()
+    assert gg.csr_cache_misses == 2
+
+    gg.get_graph(3)  # no-op again
+    assert gg.snapshot_version == 1
+    assert gg.noop_updates_skipped == 2
+
+
+def test_versions_stable_across_revisits(noop_dtdg):
+    """A revisited timestamp restores its recorded version, so earlier
+    cache entries stay addressable (never a stale alias)."""
+    gg = GPMAGraph(noop_dtdg)
+    for t in range(4):
+        gg.get_graph(t)
+        gg.forward_csr()
+    assert gg._ts_versions == {0: 0, 1: 0, 2: 1, 3: 1}
+    gg.get_graph(1)
+    assert gg.snapshot_version == 0
+    assert _edge_set(gg) == _snapshot_edge_set(noop_dtdg, 1)
+    gg.get_graph(3)
+    assert gg.snapshot_version == 1
+    assert _edge_set(gg) == _snapshot_edge_set(noop_dtdg, 3)
+
+
+def test_snapshot_key_is_content_identity(noop_dtdg):
+    gg = GPMAGraph(noop_dtdg)
+    gg.get_graph(0)
+    key0 = gg.snapshot_key()
+    gg.get_graph(1)
+    assert gg.snapshot_key() == key0  # no-op chain: identical content
+    gg.get_graph(2)
+    assert gg.snapshot_key() != key0
+
+
+# ---------------------------------------------------------------------------
+# Ablation flag
+# ---------------------------------------------------------------------------
+def test_csr_cache_disabled_counts_no_hits(random_dtdg):
+    gg = GPMAGraph(random_dtdg, enable_csr_cache=False)
+    for t in range(6):
+        gg.get_graph(t)
+        gg.forward_csr()
+    gg.cache_snapshot()
+    for t in range(5, -1, -1):
+        gg.get_backward_graph(t)
+        gg.forward_csr()
+        assert _edge_set(gg) == _snapshot_edge_set(random_dtdg, t)
+    assert gg.csr_cache_hits == 0
+    assert len(gg._csr_cache) == 0
+    # Every repositioned snapshot paid a full rebuild.
+    assert gg.csr_cache_misses == 11  # 6 forward + 5 backward (t=5 unmoved)
+
+
+def test_csr_cache_size_zero_disables(random_dtdg):
+    gg = GPMAGraph(random_dtdg, csr_cache_size=0)
+    assert not gg.enable_csr_cache
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: cache restore is purely distance-based
+# ---------------------------------------------------------------------------
+def test_rewind_past_cache_restores_on_distance(random_dtdg):
+    """Jumping to t=4 from t=0 with the cache at t=5 must restore the cache
+    and apply ONE reverse batch — not replay four forward batches."""
+    gg = GPMAGraph(random_dtdg)
+    for t in range(6):
+        gg.get_graph(t)
+    gg.cache_snapshot()  # cache holds t=5
+    for t in range(5, -1, -1):
+        gg.get_backward_graph(t)  # rewind to t=0
+    before = gg.update_batches_applied
+    gg.get_graph(4)
+    assert gg.cache_restores == 1
+    assert gg.update_batches_applied == before + 1
+    assert _edge_set(gg) == _snapshot_edge_set(random_dtdg, 4)
+    assert gg.snapshot_version == gg._ts_versions[4]
+
+
+# ---------------------------------------------------------------------------
+# Satellite 4: sequence-boundary caching (Algorithm 2 lines 1-5 / 10)
+# ---------------------------------------------------------------------------
+def test_sequence_boundary_cache_flow(random_dtdg):
+    """Forward a sequence, cache, rewind, then start the next sequence from
+    the cached snapshot with a single update batch."""
+    gg = GPMAGraph(random_dtdg)
+    for t in range(3):
+        gg.get_graph(t)
+    gg.cache_snapshot()  # end of sequence [0..2]
+    for t in range(2, -1, -1):
+        gg.get_backward_graph(t)
+    before = gg.update_batches_applied
+    gg.get_graph(3)  # next sequence: restore t=2, one forward batch
+    assert gg.cache_restores == 1
+    assert gg.update_batches_applied == before + 1
+    assert _edge_set(gg) == _snapshot_edge_set(random_dtdg, 3)
+    gg.pma.check_invariants()
+
+
+def test_restore_cache_after_capacity_change():
+    """Restoring a cache taken at a smaller PMA capacity reallocates the
+    geometry (the _alloc_arrays path) and still yields the exact snapshot."""
+    n = 32
+    t0 = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    rng = np.random.default_rng(7)
+    extra = set()
+    while len(extra) < 200:
+        s, d = rng.integers(0, n, 2)
+        if s != d:
+            extra.add((int(s), int(d)))
+    t1 = sorted(set(t0) | extra)
+    snaps = []
+    for edges in (sorted(t0), t1):
+        arr = np.array(edges, dtype=np.int64)
+        snaps.append((arr[:, 0].copy(), arr[:, 1].copy()))
+    dtdg = DTDG(snaps, n)
+
+    gg = GPMAGraph(dtdg)
+    cap_before = gg.pma.capacity
+    gg.cache_snapshot()  # cache t=0 at the small capacity
+    gg.get_graph(1)  # the 200-edge batch grows the PMA
+    assert gg.pma.capacity > cap_before
+    gg.get_graph(0)  # distance 0 from the cache: restore, shrinking geometry
+    assert gg.cache_restores == 1
+    assert gg.pma.capacity == cap_before
+    gg.pma.check_invariants()
+    assert _edge_set(gg) == _snapshot_edge_set(dtdg, 0)
+    assert gg.snapshot_version == 0
+
+
+# ---------------------------------------------------------------------------
+# NaiveGraph reports the same reuse statistics
+# ---------------------------------------------------------------------------
+def test_naive_reuse_counters(random_dtdg):
+    ng = NaiveGraph(random_dtdg)
+    # Preprocessing builds each snapshot once: one miss per timestamp.
+    assert ng.csr_cache_misses == random_dtdg.num_timestamps
+    for t in range(3):
+        ng.get_graph(t)
+    for t in range(2, -1, -1):
+        ng.get_backward_graph(t)
+    assert ng.csr_cache_hits == 3  # backward reuses the forward builds
+    assert ng.cache_stats()["csr_cache_misses"] == random_dtdg.num_timestamps
