@@ -1,0 +1,104 @@
+"""Gate: the disabled (no-op) tracer must add <2% to a training step.
+
+Every hot path in the framework now runs through ``current_tracer().span``
+even when tracing is off, so the NullTracer's cost is paid on every kernel
+launch, timestamp, and stack operation of every run.  A raw A/B epoch
+timing is too noisy to gate on in CI, so the gate is computed:
+
+1. count the instrumentation call sites one real epoch executes
+   (spans + instants, from a kept-events tracer),
+2. measure the per-call cost of the disabled path in a tight loop,
+3. assert ``calls x cost < 2% of the measured epoch wall time``.
+
+The A/B comparison is printed for the curious but not asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dataset import load_sx_mathoverflow
+from repro.obs.tracer import Tracer, current_tracer, use_tracer
+from repro.tensor import init
+from repro.train import STGraphLinkPredictor, STGraphTrainer, make_link_prediction_samples
+
+
+def _build_trainer():
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=16, max_snapshots=10)
+    samples = make_link_prediction_samples(ds.dtdg, 64, seed=5)
+    init.set_seed(5)
+    model = STGraphLinkPredictor(16, 16)
+    trainer = STGraphTrainer(
+        model, ds.build_gpma(), sequence_length=4,
+        task="link_prediction", link_samples=samples,
+    )
+    return ds, trainer
+
+
+def _null_path_cost_seconds(iterations: int = 200_000) -> tuple[float, float]:
+    """Per-call seconds of the disabled span / instant paths."""
+    tracer = current_tracer()
+    assert not tracer.enabled  # the default NullTracer
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("x", "cat", t=0):
+            pass
+    span_cost = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if tracer.enabled:
+            tracer.instant("x", "cat", t=0)
+    instant_cost = (time.perf_counter() - start) / iterations
+    return span_cost, instant_cost
+
+
+def test_noop_tracer_overhead_under_2_percent():
+    ds, trainer = _build_trainer()
+    trainer.train_epoch(ds.features)  # warm up: plan compile, caches
+
+    # 1. instrumentation call sites per epoch
+    counter = Tracer(name="count", keep_events=True)
+    with use_tracer(counter):
+        trainer.train_epoch(ds.features)
+    span_calls = sum(v["calls"] for v in counter.aggregate_by_name().values())
+    instant_calls = sum(1 for e in counter.events if e.dur is None)
+    assert span_calls > 0
+
+    # 2. per-call cost of the disabled path
+    span_cost, instant_cost = _null_path_cost_seconds()
+
+    # 3. the gate, against the untraced epoch time
+    epoch_seconds = min(
+        _timed_epoch(trainer, ds) for _ in range(3)
+    )
+    projected = span_calls * span_cost + instant_calls * instant_cost
+    overhead_frac = projected / epoch_seconds
+    print(
+        f"\nno-op tracer: {span_calls} spans x {span_cost * 1e9:.0f}ns "
+        f"+ {instant_calls} instants x {instant_cost * 1e9:.0f}ns "
+        f"= {projected * 1e6:.1f}us projected over a {epoch_seconds * 1e3:.1f}ms epoch "
+        f"({100 * overhead_frac:.3f}%)"
+    )
+    assert overhead_frac < 0.02, (
+        f"no-op tracer projects {100 * overhead_frac:.2f}% overhead "
+        f"(gate: 2%); the NullTracer fast path has regressed"
+    )
+
+
+def _timed_epoch(trainer, ds) -> float:
+    start = time.perf_counter()
+    trainer.train_epoch(ds.features)
+    return time.perf_counter() - start
+
+
+def test_enabled_tracer_ab_comparison_informational():
+    """Print (don't gate) the measured cost of a *enabled* tracer epoch."""
+    ds, trainer = _build_trainer()
+    trainer.train_epoch(ds.features)  # warm up
+    plain = min(_timed_epoch(trainer, ds) for _ in range(2))
+    with use_tracer(Tracer(name="ab", keep_events=True)):
+        traced = min(_timed_epoch(trainer, ds) for _ in range(2))
+    print(
+        f"\nepoch: {plain * 1e3:.1f}ms untraced vs {traced * 1e3:.1f}ms traced "
+        f"({100 * (traced - plain) / plain:+.1f}%)"
+    )

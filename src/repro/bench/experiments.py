@@ -19,8 +19,9 @@ import os
 from typing import Callable
 
 from repro.bench.measure import RunResult, run_dynamic_experiment, run_static_experiment
-from repro.bench.report import ascii_series, format_table, improvement
+from repro.bench.report import ascii_series, format_fig9_table, format_table, improvement
 from repro.dataset import DYNAMIC_DATASETS, STATIC_DATASETS
+from repro.obs.tracer import Tracer
 
 __all__ = [
     "static_scale",
@@ -224,36 +225,26 @@ def fig9_time_breakup(
     epochs: int | None = None,
     scale: float | None = None,
 ) -> tuple[list[RunResult], str]:
-    """Figure 9: GNN vs graph-update share of STGraph-GPMA's time."""
+    """Figure 9: GNN vs graph-update share of STGraph-GPMA's time.
+
+    Each cell trains under an aggregation-only :class:`Tracer`
+    (``keep_events=False``: no per-event retention) and the table is
+    rendered by :func:`repro.bench.report.format_fig9_table` from the span
+    self-time aggregates — the same attribution the Chrome trace of a
+    ``--trace`` run shows, through one shared code path.
+    """
     datasets = datasets or DYNAMIC_DATASETS
     epochs = epochs or bench_epochs()
     scale = dynamic_scale() if scale is None else scale
     results: list[RunResult] = []
-    rows: list[dict] = []
     for name, loader in datasets.items():
         for fs in feature_sizes:
             r = run_dynamic_experiment(
                 "gpma", loader, feature_size=fs, scale=scale, epochs=epochs,
+                tracer=Tracer(name=f"fig9:{name}:F{fs}", keep_events=False),
             )
             results.append(r)
-            rows.append({
-                "dataset": name,
-                "F": fs,
-                "gnn_%": round(100 * (1 - r.graph_update_fraction), 1),
-                "update_%": round(100 * r.graph_update_fraction, 1),
-                # One-time plan compilation relative to all profiled compute;
-                # 0 when the process-wide plan cache was already warm.
-                "compile_%": round(100 * r.compile_fraction, 1),
-                # Snapshot-reuse counters: positionings served from either
-                # reuse level (executor context or (timestamp, version) CSR
-                # cache) vs fully rebuilt, and empty update batches that
-                # never dirtied the snapshot.
-                "reuse_%": round(100 * r.reuse_rate, 1),
-                "noop_skipped": r.noop_updates_skipped,
-            })
-    return results, format_table(
-        rows, title="Figure 9: % of total time in GNN processing vs graph updates (STGraph-GPMA)"
-    )
+    return results, format_fig9_table(results)
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.device import Device, use_device
+from repro.obs.tracer import Tracer, use_tracer
 from repro.tensor import init
 
 __all__ = ["RunResult", "run_static_experiment", "run_dynamic_experiment"]
@@ -46,12 +47,31 @@ class RunResult:
     noop_updates_skipped: int = 0
     ctx_cache_hits: int = 0
     ctx_cache_misses: int = 0
+    #: per-category span self-seconds (``Tracer.aggregate_by_cat``) when the
+    #: run executed under a tracer; empty otherwise.
+    span_seconds: dict = field(default_factory=dict)
+
+    def time_split(self) -> tuple[float, float]:
+        """(gnn_seconds, graph_update_seconds) for the Figure 9 breakup.
+
+        One code path: span aggregates when the run was traced — the same
+        self-time attribution the Chrome trace shows — falling back to the
+        profiler's phase timers for untraced runs.  The two agree (see
+        ``tests/test_obs_tracing.py``'s consistency test) because the spans
+        wrap exactly the profiler's ``gnn``/``graph_update`` phase regions.
+        """
+        if self.span_seconds:
+            return (
+                self.span_seconds.get("gnn", 0.0),
+                self.span_seconds.get("graph_update", 0.0),
+            )
+        return self.gnn_seconds, self.graph_update_seconds
 
     @property
     def graph_update_fraction(self) -> float:
         """Share of profiled compute spent on graph updates (Figure 9's y-axis)."""
-        denom = self.gnn_seconds + self.graph_update_seconds
-        return self.graph_update_seconds / denom if denom > 0 else 0.0
+        gnn, upd = self.time_split()
+        return upd / (gnn + upd) if gnn + upd > 0 else 0.0
 
     @property
     def compile_fraction(self) -> float:
@@ -123,8 +143,13 @@ def run_static_experiment(
     warmup: int = 1,
     weight_seed: int = 42,
     sort_by_degree: bool = True,
+    tracer: Tracer | None = None,
 ) -> RunResult:
-    """One cell of Figure 5/6: ``system`` ∈ {"stgraph", "pygt"}."""
+    """One cell of Figure 5/6: ``system`` ∈ {"stgraph", "pygt"}.
+
+    Passing ``tracer`` runs the whole training under it and fills
+    :attr:`RunResult.span_seconds` with its per-category self-time aggregate.
+    """
     from repro.train.models import PyGTNodeRegressor, STGraphNodeRegressor
     from repro.train.trainer import BaselineTrainer, STGraphTrainer
 
@@ -147,7 +172,8 @@ def run_static_experiment(
             model = PyGTNodeRegressor(feature_size, hidden)
             signal = ds.to_pygt_signal()
             trainer = BaselineTrainer(model, signal.edge_index, sequence_length=sequence_length)
-        losses = trainer.train(ds.features, ds.targets, epochs=epochs, warmup=warmup)
+        with use_tracer(tracer):
+            losses = trainer.train(ds.features, ds.targets, epochs=epochs, warmup=warmup)
         return RunResult(
             system=system,
             dataset=ds.name,
@@ -158,6 +184,7 @@ def run_static_experiment(
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
             compile_seconds=device.profiler.seconds("compile"),
+            span_seconds=dict(tracer.aggregate_by_cat()) if tracer is not None else {},
             **_reuse_counters(device),
         )
 
@@ -178,8 +205,13 @@ def run_dynamic_experiment(
     sort_by_degree: bool = True,
     gpma_cache: bool = True,
     csr_cache: bool = True,
+    tracer: Tracer | None = None,
 ) -> RunResult:
-    """One cell of Figure 7/8/9: ``system`` ∈ {"naive", "gpma", "pygt"}."""
+    """One cell of Figure 7/8/9: ``system`` ∈ {"naive", "gpma", "pygt"}.
+
+    Passing ``tracer`` runs the whole training under it and fills
+    :attr:`RunResult.span_seconds` with its per-category self-time aggregate.
+    """
     from repro.train.models import PyGTLinkPredictor, STGraphLinkPredictor
     from repro.train.tasks import make_link_prediction_samples
     from repro.train.trainer import BaselineTrainer, STGraphTrainer
@@ -228,7 +260,8 @@ def run_dynamic_experiment(
                 task="link_prediction",
                 link_samples=samples,
             )
-        losses = trainer.train(ds.features, targets=None, epochs=epochs, warmup=warmup)
+        with use_tracer(tracer):
+            losses = trainer.train(ds.features, targets=None, epochs=epochs, warmup=warmup)
         return RunResult(
             system=system,
             dataset=ds.name,
@@ -239,5 +272,6 @@ def run_dynamic_experiment(
             gnn_seconds=device.profiler.seconds("gnn"),
             graph_update_seconds=device.profiler.seconds("graph_update"),
             compile_seconds=device.profiler.seconds("compile"),
+            span_seconds=dict(tracer.aggregate_by_cat()) if tracer is not None else {},
             **_reuse_counters(device),
         )

@@ -8,6 +8,9 @@ __all__ = [
     "format_table",
     "format_phase_breakdown",
     "format_reuse_counters",
+    "format_span_aggregates",
+    "fig9_rows",
+    "format_fig9_table",
     "ascii_series",
     "improvement",
 ]
@@ -88,6 +91,67 @@ def format_reuse_counters(
     ]
     table = format_table(rows, title=title)
     return table + f"\nnoop updates skipped: {counters.get('noop_updates_skipped', 0)}"
+
+
+def format_span_aggregates(tracer, title: str = "Span aggregates") -> str:
+    """Render a tracer's per-name inclusive times as a call-count table.
+
+    Pairs with :meth:`repro.obs.tracer.Tracer.aggregate_by_name`; the
+    complementary per-category *self*-time view is what
+    :func:`format_phase_breakdown` renders when fed
+    :meth:`~repro.obs.tracer.Tracer.aggregate_by_cat`.
+    """
+    rows = [
+        {
+            "span": name,
+            "calls": info["calls"],
+            "seconds": round(info["seconds"], 5),
+            "mean_us": round(1e6 * info["seconds"] / info["calls"], 1),
+        }
+        for name, info in sorted(
+            tracer.aggregate_by_name().items(), key=lambda kv: -kv[1]["seconds"]
+        )
+    ]
+    return format_table(rows, title=title)
+
+
+def fig9_rows(results: Sequence) -> list[dict]:
+    """Figure 9 table rows from a list of :class:`RunResult`.
+
+    The GNN vs graph-update split comes from one code path —
+    ``RunResult.time_split()``, i.e. the tracer's per-category span
+    self-time aggregate for traced runs — rather than a second,
+    separately-maintained summation of profiler phases.
+    """
+    rows = []
+    for r in results:
+        gnn, upd = r.time_split()
+        total = gnn + upd
+        rows.append({
+            "dataset": r.dataset,
+            "F": r.params.get("F", ""),
+            "gnn_%": round(100 * gnn / total, 1) if total > 0 else 0.0,
+            "update_%": round(100 * upd / total, 1) if total > 0 else 0.0,
+            # One-time plan compilation relative to all profiled compute;
+            # 0 when the process-wide plan cache was already warm.
+            "compile_%": round(100 * r.compile_fraction, 1),
+            # Snapshot-reuse counters: positionings served from either
+            # reuse level (executor context or (timestamp, version) CSR
+            # cache) vs fully rebuilt, and empty update batches that
+            # never dirtied the snapshot.
+            "reuse_%": round(100 * r.reuse_rate, 1),
+            "noop_skipped": r.noop_updates_skipped,
+        })
+    return rows
+
+
+def format_fig9_table(results: Sequence, title: str | None = None) -> str:
+    """Render :func:`fig9_rows` as the paper's Figure 9 breakup table."""
+    return format_table(
+        fig9_rows(results),
+        title=title
+        or "Figure 9: % of total time in GNN processing vs graph updates (STGraph-GPMA)",
+    )
 
 
 def ascii_series(

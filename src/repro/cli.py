@@ -12,6 +12,14 @@ Commands
     timing, and memory.  ``--system pygt`` runs the baseline instead.
 ``bench --experiment fig5``
     Run one of the paper's table/figure experiments and print it.
+``trace --out traces/run.json``
+    Short traced TGCN training run on a generated DTDG; writes the Chrome
+    trace, JSONL event log, run manifest, and Prometheus metrics dump.
+
+``train`` and ``bench`` also accept ``--trace out.json``: the run executes
+under a :class:`~repro.obs.tracer.Tracer` and the same four artifacts are
+written (``out.json``, ``out.events.jsonl``, ``out.manifest.json``,
+``out.metrics.prom``).
 """
 
 from __future__ import annotations
@@ -99,11 +107,45 @@ def _build_model(name: str, in_features: int, hidden: int):
     raise SystemExit(f"unknown model {name!r}")
 
 
+def _trace_base(trace_path: str) -> str:
+    return trace_path[:-5] if trace_path.endswith(".json") else trace_path
+
+
+def _write_trace_artifacts(
+    tracer,
+    device,
+    trace_path: str,
+    graph=None,
+    system: str = "",
+    dataset: str = "",
+    command: str = "",
+    results: dict | None = None,
+) -> None:
+    """Write the four observability artifacts next to ``trace_path``."""
+    from repro.obs import build_run_manifest, write_chrome_trace, write_jsonl, write_prometheus
+
+    base = _trace_base(trace_path)
+    chrome = write_chrome_trace(tracer, base + ".json")
+    jsonl = write_jsonl(tracer.events, base + ".events.jsonl")
+    manifest = build_run_manifest(
+        device, tracer=tracer, graph=graph,
+        run_name=tracer.name, command=command,
+        system=system, dataset=dataset, results=results,
+    )
+    manifest_path = manifest.write(base + ".manifest.json")
+    prom = write_prometheus(device, base + ".metrics.prom", tracer)
+    print(f"chrome trace:  {chrome}")
+    print(f"event log:     {jsonl}")
+    print(f"run manifest:  {manifest_path}")
+    print(f"metrics dump:  {prom}")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.dataset import DYNAMIC_DATASETS, STATIC_DATASETS
     from repro.device import Device, use_device
+    from repro.obs.tracer import Tracer, use_tracer
     from repro.tensor import init
     from repro.train import (
         BaselineTrainer,
@@ -114,8 +156,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         temporal_train_test_split,
     )
 
+    trace_path = getattr(args, "trace", None)
+    tracer = Tracer(name=f"train:{args.dataset}:{args.model}") if trace_path else None
     device = Device(name="cli")
-    with use_device(device):
+    with use_device(device), use_tracer(tracer):
         init.set_seed(args.seed)
         if args.dataset in STATIC_DATASETS:
             ds = STATIC_DATASETS[args.dataset](
@@ -161,13 +205,44 @@ def _cmd_train(args: argparse.Namespace) -> int:
         upd = device.profiler.seconds("graph_update")
         if gnn + upd > 0:
             print(f"time split: gnn {100 * gnn / (gnn + upd):.1f}% / updates {100 * upd / (gnn + upd):.1f}%")
+        if tracer is not None:
+            _write_trace_artifacts(
+                tracer, device, trace_path,
+                graph=getattr(trainer, "graph", None),
+                system=args.system, dataset=args.dataset,
+                command=f"repro train --dataset {args.dataset} --model {args.model} "
+                        f"--epochs {args.epochs} --seed {args.seed}",
+                results={
+                    "first_loss": float(losses[0]),
+                    "final_loss": float(losses[-1]),
+                    "per_epoch_seconds": trainer.mean_epoch_time,
+                },
+            )
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.device import current_device
+    from repro.obs.tracer import Tracer, use_tracer
+
+    trace_path = getattr(args, "trace", None)
+    tracer = Tracer(name=f"bench:{args.experiment}") if trace_path else None
+    start = time.perf_counter()
+    with use_tracer(tracer):
+        _run_bench_experiment(args)
+    print(f"\n({time.perf_counter() - start:.1f}s)")
+    if tracer is not None:
+        _write_trace_artifacts(
+            tracer, current_device(), trace_path,
+            system="stgraph", dataset=args.experiment,
+            command=f"repro bench --experiment {args.experiment}",
+        )
+    return 0
+
+
+def _run_bench_experiment(args: argparse.Namespace) -> None:
     from repro.bench import experiments as exp
 
-    start = time.perf_counter()
     if args.experiment == "table1":
         print(exp.table1_capabilities()[1])
     elif args.experiment == "table2":
@@ -187,8 +262,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         dyn_t, _ = exp.fig7_dtdg_time(feature_sizes=(8, 64))
         dyn_m, _ = exp.fig8_dtdg_memory(percent_changes=(2.0, 10.0))
         print(exp.table3_summary(static, dyn_t, dyn_m)[1])
-    print(f"\n({time.perf_counter() - start:.1f}s)")
-    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Short traced training run: ``repro train --trace`` with DTDG defaults."""
+    args.trace = args.out
+    return _cmd_train(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -215,9 +294,28 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--timestamps", type=int, default=40)
     p_train.add_argument("--scale", type=float, default=1.0)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--trace", metavar="OUT.json", default=None,
+                         help="trace the run; writes OUT.json (Chrome trace), "
+                              "OUT.events.jsonl, OUT.manifest.json, OUT.metrics.prom")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("--experiment", choices=_EXPERIMENTS, required=True)
+    p_bench.add_argument("--trace", metavar="OUT.json", default=None,
+                         help="trace the experiment; writes the same artifact set as train --trace")
+
+    p_trace = sub.add_parser("trace", help="short traced TGCN run on a generated DTDG")
+    p_trace.add_argument("--out", metavar="OUT.json", default="traces/run.json")
+    p_trace.add_argument("--dataset", default="sx-mathoverflow")
+    p_trace.add_argument("--model", choices=_MODELS, default="tgcn")
+    p_trace.add_argument("--system", choices=("stgraph", "pygt"), default="stgraph")
+    p_trace.add_argument("--epochs", type=int, default=3)
+    p_trace.add_argument("--features", type=int, default=8)
+    p_trace.add_argument("--hidden", type=int, default=16)
+    p_trace.add_argument("--lr", type=float, default=1e-2)
+    p_trace.add_argument("--sequence-length", type=int, default=4)
+    p_trace.add_argument("--timestamps", type=int, default=8)
+    p_trace.add_argument("--scale", type=float, default=0.02)
+    p_trace.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -225,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "train": _cmd_train,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -39,6 +39,7 @@ from repro.core.engine import ExecutionEngine, get_engine
 from repro.core.stacks import GraphStack, StateStack
 from repro.device import current_device
 from repro.graph.base import STGraphBase
+from repro.obs.tracer import current_tracer
 
 __all__ = ["TemporalExecutor"]
 
@@ -125,10 +126,11 @@ class TemporalExecutor:
             self._fwd_t = t
             self._fwd_ctx = self._static_ctx
             return self._fwd_ctx
-        self.graph.get_graph(t)
-        self.graph_stack.push(t)
-        self._fwd_t = t
-        self._fwd_ctx = self._context_for_current()
+        with current_tracer().span("graph_update", "graph_update", t=t, dir="fwd"):
+            self.graph.get_graph(t)
+            self.graph_stack.push(t)
+            self._fwd_t = t
+            self._fwd_ctx = self._context_for_current()
         # A fresh forward ends any in-flight backward positioning; the
         # contexts themselves stay reusable through the keyed cache.
         self._bwd_ctx = None
@@ -163,11 +165,30 @@ class TemporalExecutor:
     def push_state(self, saved: dict[str, np.ndarray], tag: str = "") -> int:
         """Push one aggregation's pruned saved state for the current timestamp."""
         assert self._fwd_t is not None, "push_state outside a timestamp"
-        return self.state_stack.push(self._fwd_t, saved, tag)
+        token = self.state_stack.push(self._fwd_t, saved, tag)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "state_stack.push", "stack",
+                tag=tag, t=self._fwd_t,
+                bytes=self.state_stack.last_push_bytes,
+                total_bytes=self.state_stack.current_bytes(),
+                depth=len(self.state_stack),
+            )
+        return token
 
     def pop_state(self, token: int) -> dict[str, np.ndarray]:
         """Pop a saved-state entry by its token (LIFO-checked)."""
-        return self.state_stack.pop(token)
+        saved = self.state_stack.pop(token)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "state_stack.pop", "stack",
+                bytes=self.state_stack.last_pop_bytes,
+                total_bytes=self.state_stack.current_bytes(),
+                depth=len(self.state_stack),
+            )
+        return saved
 
     # ------------------------------------------------------------------
     # Backward side
@@ -186,15 +207,16 @@ class TemporalExecutor:
             return self._static_ctx
         if self._bwd_t == t and self._bwd_ctx is not None:
             return self._bwd_ctx
-        popped = self.graph_stack.pop()
-        if popped != t:
-            raise RuntimeError(
-                f"graph stack LIFO violation: popped timestamp {popped}, "
-                f"backward requested {t}"
-            )
-        self.graph.get_backward_graph(t)
-        self._bwd_ctx = self._context_for_current()
-        self._bwd_t = t
+        with current_tracer().span("graph_update", "graph_update", t=t, dir="bwd"):
+            popped = self.graph_stack.pop()
+            if popped != t:
+                raise RuntimeError(
+                    f"graph stack LIFO violation: popped timestamp {popped}, "
+                    f"backward requested {t}"
+                )
+            self.graph.get_backward_graph(t)
+            self._bwd_ctx = self._context_for_current()
+            self._bwd_t = t
         return self._bwd_ctx
 
     # ------------------------------------------------------------------

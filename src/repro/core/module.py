@@ -28,6 +28,7 @@ from repro.compiler.runtime import GraphContext
 from repro.core.engine import ExecutionEngine
 from repro.core.executor import TemporalExecutor
 from repro.device import current_device
+from repro.obs.tracer import current_tracer
 from repro.tensor import nn
 from repro.tensor.tensor import Tensor, is_grad_enabled
 
@@ -66,8 +67,9 @@ class _GraphAggregationTape:
         device = current_device()
         ctx = self.executor.backward_context(self.timestamp)
         saved = self.executor.pop_state(self.token)
-        with device.profiler.phase("gnn"):
-            grads = self.program.backward(ctx, grad, saved, engine=self.engine)
+        with current_tracer().span("backward/" + self.program.name, "gnn", t=self.timestamp):
+            with device.profiler.phase("gnn"):
+                grads = self.program.backward(ctx, grad, saved, engine=self.engine)
         return tuple(grads.get(name) for name, _kind in self.tensor_slots)
 
 
@@ -107,8 +109,9 @@ def graph_aggregate(
         else:
             edge_arrays[name] = np.asarray(value)
 
-    with device.profiler.phase("gnn"):
-        out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None, engine=engine)
+    with current_tracer().span("forward/" + program.name, "gnn", t=timestamp):
+        with device.profiler.phase("gnn"):
+            out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None, engine=engine)
     out = Tensor(out_np)
 
     if is_grad_enabled() and any(t.requires_grad or t._ctx is not None for t in tensor_inputs):

@@ -59,6 +59,9 @@ class StateStack:
         self.peak_depth = 0
         self.peak_bytes = 0
         self.total_pushes = 0
+        #: bytes of the most recent push / pop, for trace instrumentation
+        self.last_push_bytes = 0
+        self.last_pop_bytes = 0
 
     def push(self, timestamp: int, saved: dict[str, Any], tag: str = "") -> int:
         """Push one aggregation's saved state; returns the pop token."""
@@ -66,6 +69,7 @@ class StateStack:
         entry.bytes_at_push = entry.nbytes()
         self._entries.append(entry)
         self._current_bytes += entry.bytes_at_push
+        self.last_push_bytes = entry.bytes_at_push
         self.total_pushes += 1
         self.peak_depth = max(self.peak_depth, len(self._entries))
         self.peak_bytes = max(self.peak_bytes, self._current_bytes)
@@ -91,6 +95,7 @@ class StateStack:
                     )
                 del self._entries[i]
                 self._current_bytes -= entry.bytes_at_push
+                self.last_pop_bytes = entry.bytes_at_push
                 return entry.saved
             if entry.timestamp != top_ts:
                 break

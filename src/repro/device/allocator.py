@@ -50,6 +50,22 @@ class MemoryTracker:
         self._next_id = 0
         self._live: dict[int, AllocationRecord] = {}
         self._tracked_bases: set[int] = set()
+        # Per-tag breakdown, maintained incrementally so traces can
+        # attribute residency to state-stack vs CSR vs PMA storage without
+        # walking every live record.
+        self._current_by_tag: dict[str, int] = {}
+        self._peak_by_tag: dict[str, int] = {}
+
+    def _account_add(self, nbytes: int, tag: str) -> None:
+        """Lock held: add ``nbytes`` to the global and per-tag accounting."""
+        self._current += nbytes
+        self._total_allocated += nbytes
+        if self._current > self._peak:
+            self._peak = self._current
+        tag_bytes = self._current_by_tag.get(tag, 0) + nbytes
+        self._current_by_tag[tag] = tag_bytes
+        if tag_bytes > self._peak_by_tag.get(tag, 0):
+            self._peak_by_tag[tag] = tag_bytes
 
     # ------------------------------------------------------------------
     # Core accounting
@@ -74,10 +90,7 @@ class MemoryTracker:
             alloc_id = self._next_id
             self._next_id += 1
             self._live[alloc_id] = AllocationRecord(nbytes, tag, alloc_id)
-            self._current += nbytes
-            self._total_allocated += nbytes
-            if self._current > self._peak:
-                self._peak = self._current
+            self._account_add(nbytes, tag)
         weakref.finalize(base, self._release, alloc_id, base_id)
         return array
 
@@ -86,6 +99,11 @@ class MemoryTracker:
             rec = self._live.pop(alloc_id, None)
             if rec is not None:
                 self._current -= rec.nbytes
+                remaining = self._current_by_tag.get(rec.tag, 0) - rec.nbytes
+                if remaining > 0:
+                    self._current_by_tag[rec.tag] = remaining
+                else:
+                    self._current_by_tag.pop(rec.tag, None)
             if base_id is not None:
                 self._tracked_bases.discard(base_id)
 
@@ -96,10 +114,7 @@ class MemoryTracker:
             alloc_id = self._next_id
             self._next_id += 1
             self._live[alloc_id] = AllocationRecord(int(nbytes), tag, alloc_id)
-            self._current += int(nbytes)
-            self._total_allocated += int(nbytes)
-            if self._current > self._peak:
-                self._peak = self._current
+            self._account_add(int(nbytes), tag)
             return alloc_id
 
     def manual_release(self, handle: int) -> None:
@@ -131,16 +146,30 @@ class MemoryTracker:
 
     def live_by_tag(self) -> dict[str, int]:
         """Current bytes grouped by allocation tag (diagnostics)."""
-        out: dict[str, int] = {}
+        return self.bytes_by_tag()
+
+    def bytes_by_tag(self) -> dict[str, int]:
+        """Current resident bytes per allocation tag (O(#tags))."""
         with self._lock:
-            for rec in self._live.values():
-                out[rec.tag] = out.get(rec.tag, 0) + rec.nbytes
-        return out
+            return dict(self._current_by_tag)
+
+    def peak_bytes_by_tag(self) -> dict[str, int]:
+        """Per-tag high-water marks since construction or :meth:`reset_peak`.
+
+        Each tag's peak is its own maximum over time — the per-tag peaks
+        generally do not sum to :attr:`peak_bytes`, which is the maximum of
+        the *total*.
+        """
+        with self._lock:
+            return dict(self._peak_by_tag)
 
     def reset_peak(self) -> None:
-        """Reset the high-water mark to the current residency."""
+        """Reset the global and per-tag high-water marks to current residency."""
         with self._lock:
             self._peak = self._current
+            self._peak_by_tag = {
+                tag: nbytes for tag, nbytes in self._current_by_tag.items()
+            }
 
     def scope(self) -> "MemoryScope":
         """Context manager measuring peak bytes over a region."""

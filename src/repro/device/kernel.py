@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.tracer import current_tracer
+
 __all__ = ["CompiledKernel", "KernelLauncher"]
 
 
@@ -119,10 +121,16 @@ class KernelLauncher:
         return kernel
 
     def launch(self, kernel: CompiledKernel, *args: Any, **kwargs: Any) -> Any:
-        """Execute a kernel, recording count and wall time."""
+        """Execute a kernel, recording count and wall time.
+
+        Under an active tracer every launch is a span named by the kernel's
+        entry point — which embeds the plan id (``plan_<hash>_fwd`` etc.),
+        so traces attribute kernel time to specific compiled plans.
+        """
         start = time.perf_counter()
         try:
-            return kernel(*args, **kwargs)
+            with current_tracer().span(kernel.name, "gnn"):
+                return kernel(*args, **kwargs)
         finally:
             self.launch_seconds += time.perf_counter() - start
             self.launch_count += 1

@@ -95,13 +95,17 @@ class Profiler:
             yield
         finally:
             end = time.perf_counter()
-            inner_name, inner_start = self._stack.pop()
-            timer = self._timer(inner_name)
-            timer.total_seconds += end - inner_start
-            timer.calls += 1
+            # reset() inside an open phase clears the stack; the interval
+            # being unwound belongs to the discarded pre-reset accounting,
+            # so it is dropped rather than crashing on an empty pop.
             if self._stack:
-                outer_name, _ = self._stack[-1]
-                self._stack[-1] = (outer_name, end)
+                inner_name, inner_start = self._stack.pop()
+                timer = self._timer(inner_name)
+                timer.total_seconds += end - inner_start
+                timer.calls += 1
+                if self._stack:
+                    outer_name, _ = self._stack[-1]
+                    self._stack[-1] = (outer_name, end)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds for a phase (0 if never entered)."""
@@ -131,6 +135,15 @@ class Profiler:
     def counters(self) -> dict[str, int]:
         """Accumulated counts for every framework counter (see :data:`COUNTERS`)."""
         return {name: self.counter(name) for name in COUNTERS}
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Copy of *every* counter seen so far (framework and user events).
+
+        The tracer snapshots this at span boundaries to report counter
+        deltas per span; unlike :meth:`counters` it includes ad-hoc events
+        and omits never-counted framework names.
+        """
+        return dict(self._counters)
 
     def breakdown(self) -> dict[str, float]:
         """Fraction of total profiled time per phase (sums to 1.0)."""

@@ -37,6 +37,7 @@ from repro.graph.base import STGraphBase
 from repro.graph.csr import CSR
 from repro.graph.dtdg import DTDG
 from repro.graph.labels import decode_edges, encode_edges
+from repro.obs.tracer import current_tracer
 from repro.pma import PackedMemoryArray, SPACE_KEY
 
 __all__ = ["GPMAGraph"]
@@ -117,16 +118,18 @@ class GPMAGraph(STGraphBase):
     # ------------------------------------------------------------------
     def get_graph(self, timestamp: int) -> "GPMAGraph":
         """Get-Graph(G, t): apply update batches (with cache retrieval) to position at ``t``."""
-        with current_device().profiler.phase("graph_update"):
-            self._advance(int(timestamp))
+        with current_tracer().span("gpma.advance", "graph_update", t=int(timestamp)):
+            with current_device().profiler.phase("graph_update"):
+                self._advance(int(timestamp))
         return self
 
     def get_backward_graph(self, timestamp: int) -> "GPMAGraph":
         """Reverse update to ``timestamp``; the backward pass then reads the
         out-CSR (the "graph has to be reversed" part is the forward CSR,
         already produced by Algorithm 3)."""
-        with current_device().profiler.phase("graph_update"):
-            self._advance(int(timestamp))
+        with current_tracer().span("gpma.advance", "graph_update", t=int(timestamp)):
+            with current_device().profiler.phase("graph_update"):
+                self._advance(int(timestamp))
         return self
 
     def cache_snapshot(self) -> None:
@@ -257,7 +260,9 @@ class GPMAGraph(STGraphBase):
     def _rebuild(self) -> None:
         from repro.graph.reverse import reverse_gpma_vectorized
 
-        with current_device().profiler.phase("graph_update"):
+        with current_tracer().span(
+            "gpma.rebuild", "graph_update", t=self.curr_time, edges=self.pma.n_items
+        ), current_device().profiler.phase("graph_update"):
             alloc = current_device().alloc
             keys, _ = self.pma.export_items()
             src, dst = decode_edges(keys, self.num_nodes)

@@ -1,0 +1,48 @@
+"""Observability: tracing, run manifests, and metric exports.
+
+The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.tracer` — nested spans over the hot paths (executor,
+  kernels, graph updates, trainer), with allocator bytes and profiler
+  counter deltas captured at span boundaries.  Disabled by default via a
+  zero-overhead :class:`NullTracer`; enable per run with :func:`use_tracer`.
+* :mod:`repro.obs.exporters` — Chrome ``chrome://tracing`` JSON, a flat
+  JSONL event log, and a Prometheus text dump of the metric registry.
+* :mod:`repro.obs.manifest` — the :class:`RunManifest` written per
+  bench/train run (git rev, plan ids, dataset/graph kind, cache config,
+  per-phase totals) so result trajectories are self-describing.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.manifest import RunManifest, build_run_manifest, git_revision
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanEvent",
+    "current_tracer",
+    "use_tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "RunManifest",
+    "build_run_manifest",
+    "git_revision",
+]

@@ -1,0 +1,181 @@
+"""Trace and metrics exporters: Chrome trace JSON, JSONL, Prometheus text.
+
+Three formats for three audiences:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the
+  ``chrome://tracing`` / Perfetto JSON object format (``traceEvents`` with
+  matched ``B``/``E`` pairs per span and ``i`` instants), for interactive
+  flame-chart inspection of one run.
+* :func:`write_jsonl` — one JSON object per event, for ``jq``-style diffing
+  of traces across PRs.
+* :func:`prometheus_text` — a text-format dump of the run's metric registry
+  (profiler phases and counters, allocator residency/peaks incl. per-tag,
+  span aggregates), for scraping or snapshotting next to ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.device.device import Device
+    from repro.obs.tracer import SpanEvent, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+_PID = 1  # one "process": the simulated device
+
+
+def chrome_trace(tracer: "Tracer", tid: int = 1) -> dict:
+    """The tracer's events as a Chrome-trace JSON object (``traceEvents``).
+
+    Every completed span becomes a matched ``B``/``E`` pair; instants become
+    ``i`` events.  Events are emitted sorted by timestamp with ``E`` before
+    ``B`` on ties, which is the ordering the Trace Event format requires for
+    well-nested stacks.
+    """
+    raw: list[tuple[float, int, dict]] = []
+    for e in tracer.events:
+        ts_us = e.ts * 1e6
+        if e.dur is None:
+            raw.append((ts_us, 1, {
+                "name": e.name, "cat": e.cat or "instant", "ph": "i", "s": "t",
+                "ts": round(ts_us, 3), "pid": _PID, "tid": tid,
+                "args": e.args,
+            }))
+            continue
+        end_us = (e.ts + e.dur) * 1e6
+        raw.append((ts_us, 1, {
+            "name": e.name, "cat": e.cat or "span", "ph": "B",
+            "ts": round(ts_us, 3), "pid": _PID, "tid": tid, "args": e.args,
+        }))
+        raw.append((end_us, 0, {
+            "name": e.name, "cat": e.cat or "span", "ph": "E",
+            "ts": round(end_us, 3), "pid": _PID, "tid": tid,
+        }))
+    raw.sort(key=lambda item: (item[0], item[1]))
+    events = [
+        {
+            "name": "process_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": f"repro:{tracer.name}"},
+        }
+    ]
+    events.extend(item[2] for item in raw)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tracer": tracer.name,
+            "dropped_events": tracer.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path: str) -> str:
+    """Write :func:`chrome_trace` output to ``path``; returns the path."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+    return path
+
+
+def write_jsonl(events: "Iterable[SpanEvent]", path: str) -> str:
+    """Write one JSON object per event to ``path``; returns the path."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for e in events:
+            fh.write(json.dumps(e.to_dict()) + "\n")
+    return path
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_lines(metric: str, kind: str, help_text: str,
+                samples: Mapping[tuple[tuple[str, str], ...], float]) -> list[str]:
+    lines = [f"# HELP {metric} {help_text}", f"# TYPE {metric} {kind}"]
+    for labels, value in samples.items():
+        if labels:
+            label_str = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in labels)
+            lines.append(f"{metric}{{{label_str}}} {value:g}")
+        else:
+            lines.append(f"{metric} {value:g}")
+    return lines
+
+
+def prometheus_text(device: "Device", tracer: "Tracer | None" = None) -> str:
+    """Prometheus text-format dump of the device's metric registry.
+
+    Covers the profiler's phase timers and event counters, the allocator's
+    current/peak residency (global and per tag), kernel-launcher totals, and
+    — when a tracer is supplied — per-category span self-time aggregates.
+    """
+    lines: list[str] = []
+    profiler = device.profiler
+    lines += _prom_lines(
+        "repro_phase_seconds_total", "counter", "Accumulated wall seconds per profiler phase.",
+        {(("phase", name),): seconds for name, seconds in profiler.phase_seconds().items()},
+    )
+    lines += _prom_lines(
+        "repro_events_total", "counter", "Accumulated event counts (cache reuse etc.).",
+        {(("event", name),): float(count) for name, count in profiler.counters().items()},
+    )
+    tracker = device.tracker
+    lines += _prom_lines(
+        "repro_memory_current_bytes", "gauge", "Bytes currently device-resident.",
+        {(): float(tracker.current_bytes)},
+    )
+    lines += _prom_lines(
+        "repro_memory_peak_bytes", "gauge", "High-water mark of device residency.",
+        {(): float(tracker.peak_bytes)},
+    )
+    by_tag = tracker.bytes_by_tag()
+    if by_tag:
+        lines += _prom_lines(
+            "repro_memory_tag_bytes", "gauge", "Current resident bytes per allocation tag.",
+            {(("tag", tag or "untagged"),): float(b) for tag, b in sorted(by_tag.items())},
+        )
+    peak_by_tag = tracker.peak_bytes_by_tag()
+    if peak_by_tag:
+        lines += _prom_lines(
+            "repro_memory_tag_peak_bytes", "gauge", "Peak resident bytes per allocation tag.",
+            {(("tag", tag or "untagged"),): float(b) for tag, b in sorted(peak_by_tag.items())},
+        )
+    lines += _prom_lines(
+        "repro_kernel_launches_total", "counter", "Kernel launches on this device.",
+        {(): float(device.launcher.launch_count)},
+    )
+    lines += _prom_lines(
+        "repro_kernel_seconds_total", "counter", "Wall seconds inside launched kernels.",
+        {(): device.launcher.launch_seconds},
+    )
+    if tracer is not None:
+        lines += _prom_lines(
+            "repro_span_self_seconds_total", "counter",
+            "Span self time (duration minus children) per category.",
+            {(("cat", cat),): seconds for cat, seconds in sorted(tracer.aggregate_by_cat().items())},
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(device: "Device", path: str, tracer: "Tracer | None" = None) -> str:
+    """Write :func:`prometheus_text` to ``path``; returns the path."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(device, tracer))
+    return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

@@ -1,0 +1,150 @@
+"""Self-describing run manifests.
+
+A ``BENCH_*.json`` row (or a one-off ``repro train`` run) is only comparable
+across PRs if it records *what* ran: which revision, which compiled plans,
+which dataset/graph kind, and which cache configuration.  The
+:class:`RunManifest` bundles that provenance with the run's per-phase
+totals, reuse counters, span aggregates, and memory watermarks — one JSON
+file written next to the trace, so a trajectory of benchmark results is
+self-describing without consulting git history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.device.device import Device
+    from repro.obs.tracer import Tracer
+
+__all__ = ["RunManifest", "build_run_manifest", "git_revision"]
+
+_SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """The current git commit hash, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance + aggregate record of one bench/train run."""
+
+    schema_version: int = _SCHEMA_VERSION
+    created_unix: float = 0.0
+    git_rev: str | None = None
+    run_name: str = ""
+    command: str = ""
+    #: "stgraph" | "pygt" | "naive" | "gpma" | ...
+    system: str = ""
+    dataset: str = ""
+    #: "static" | "naive" | "gpma" — STGraphBase.graph_type
+    graph_kind: str = ""
+    #: snapshot/reuse cache configuration in effect for the run
+    cache_config: dict[str, Any] = field(default_factory=dict)
+    #: content-hash ids of every plan in the process-wide plan cache
+    plan_ids: list[str] = field(default_factory=list)
+    plan_cache_stats: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    span_seconds: dict[str, float] = field(default_factory=dict)
+    span_calls: dict[str, dict] = field(default_factory=dict)
+    peak_memory_bytes: int = 0
+    current_memory_bytes: int = 0
+    peak_memory_by_tag: dict[str, int] = field(default_factory=dict)
+    kernel_launches: int = 0
+    #: free-form per-run results (losses, epoch times, figure params)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict."""
+        return asdict(self)
+
+    def write(self, path: str) -> str:
+        """Write the manifest as JSON to ``path``; returns the path."""
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        """Read a manifest back (unknown keys from future schemas ignored)."""
+        with open(path) as fh:
+            data = json.load(fh)
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def build_run_manifest(
+    device: "Device",
+    tracer: "Tracer | None" = None,
+    graph: Any | None = None,
+    run_name: str = "",
+    command: str = "",
+    system: str = "",
+    dataset: str = "",
+    results: dict[str, Any] | None = None,
+) -> RunManifest:
+    """Collect a :class:`RunManifest` from the live device/tracer/graph.
+
+    ``graph`` (any :class:`~repro.graph.base.STGraphBase`) contributes the
+    graph kind and the snapshot-cache configuration; the process-wide plan
+    cache contributes the plan ids a future reader can match against
+    ``docs/COMPILER.md`` §7 cache keys.
+    """
+    from repro.compiler.plan import plan_cache
+
+    cache = plan_cache()
+    manifest = RunManifest(
+        created_unix=time.time(),
+        git_rev=git_revision(),
+        run_name=run_name,
+        command=command,
+        system=system,
+        dataset=dataset,
+        plan_ids=sorted(p.plan_id for p in cache.plans()),
+        plan_cache_stats=cache.stats(),
+        phase_seconds={k: round(v, 6) for k, v in device.profiler.phase_seconds().items()},
+        counters=dict(device.profiler.counters()),
+        peak_memory_bytes=device.tracker.peak_bytes,
+        current_memory_bytes=device.tracker.current_bytes,
+        peak_memory_by_tag={t or "untagged": b for t, b in sorted(device.tracker.peak_bytes_by_tag().items())},
+        kernel_launches=device.launcher.launch_count,
+        results=dict(results or {}),
+    )
+    if tracer is not None:
+        manifest.run_name = manifest.run_name or tracer.name
+        manifest.span_seconds = {k: round(v, 6) for k, v in tracer.aggregate_by_cat().items()}
+        manifest.span_calls = {
+            name: {"calls": info["calls"], "seconds": round(info["seconds"], 6)}
+            for name, info in tracer.aggregate_by_name().items()
+        }
+    if graph is not None:
+        manifest.graph_kind = getattr(graph, "graph_type", "")
+        manifest.cache_config = {
+            "enable_cache": getattr(graph, "enable_cache", None),
+            "enable_csr_cache": getattr(graph, "enable_csr_cache", None),
+            "csr_cache_size": getattr(graph, "csr_cache_size", None),
+        }
+    return manifest

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.executor import TemporalExecutor
 from repro.graph.base import STGraphBase
+from repro.obs.tracer import current_tracer
 from repro.tensor import functional as F
 from repro.tensor import optim
 from repro.tensor.nn import Module
@@ -75,24 +76,37 @@ class STGraphTrainer:
         return F.bce_with_logits_loss(logits, samples.labels)
 
     def train_epoch(self, features: Sequence[np.ndarray], targets: Sequence[np.ndarray] | None = None) -> float:
-        """One epoch of Algorithm 1; returns the summed loss."""
+        """One epoch of Algorithm 1; returns the summed loss.
+
+        Under an active tracer the epoch is a span tree:
+        ``epoch > sequence > timestamp[t] > {graph_update, forward/<layer>}``
+        on the way forward, then per-sequence ``backward`` (containing the
+        per-layer ``backward/<layer>`` and ``graph_update`` spans of the
+        LIFO walk) and ``optimizer`` spans.
+        """
+        tracer = current_tracer()
         total_timestamps = len(features)
         seq_len = self.sequence_length or total_timestamps
         start = time.perf_counter()
         epoch_loss = 0.0
-        for seq in _sequences(total_timestamps, seq_len):
-            self.optimizer.zero_grad()
-            state = None
-            acc = _LossAccumulator()
-            for t in seq:  # forward over the sequence (Alg. 1 lines 8-16)
-                self.executor.begin_timestamp(t)
-                pred, state = self.model.step(self.executor, Tensor(features[t]), state)
-                acc.add(self._loss_at(t, pred, targets))
-            self.executor.end_sequence_forward()
-            acc.total.backward()  # LIFO backward (Alg. 1 lines 18-25)
-            self.executor.check_drained()
-            self.optimizer.step()
-            epoch_loss += acc.total.item()
+        with tracer.span("epoch", "train", epoch=len(self.epoch_times)):
+            for seq in _sequences(total_timestamps, seq_len):
+                with tracer.span("sequence", "train", start=seq.start, stop=seq.stop):
+                    self.optimizer.zero_grad()
+                    state = None
+                    acc = _LossAccumulator()
+                    for t in seq:  # forward over the sequence (Alg. 1 lines 8-16)
+                        with tracer.span(f"timestamp[{t}]", "train", t=t):
+                            self.executor.begin_timestamp(t)
+                            pred, state = self.model.step(self.executor, Tensor(features[t]), state)
+                            acc.add(self._loss_at(t, pred, targets))
+                    self.executor.end_sequence_forward()
+                    with tracer.span("backward", "train", start=seq.start, stop=seq.stop):
+                        acc.total.backward()  # LIFO backward (Alg. 1 lines 18-25)
+                    self.executor.check_drained()
+                    with tracer.span("optimizer", "optimizer"):
+                        self.optimizer.step()
+                    epoch_loss += acc.total.item()
         self.epoch_times.append(time.perf_counter() - start)
         return epoch_loss
 

@@ -156,3 +156,43 @@ def test_use_device_nesting():
             assert current_device() is nested
         assert current_device() is inner
     assert current_device() is outer
+
+
+def test_bytes_by_tag_tracks_and_releases():
+    import gc
+
+    tracker = MemoryTracker()
+    a = tracker.track(np.zeros(256, dtype=np.float32), tag="csr")
+    b = tracker.track(np.zeros(128, dtype=np.float32), tag="state_stack")
+    handle = tracker.manual_add(100, tag="pma")
+    by_tag = tracker.bytes_by_tag()
+    assert by_tag == {"csr": 1024, "state_stack": 512, "pma": 100}
+    del a
+    gc.collect()
+    assert tracker.bytes_by_tag() == {"state_stack": 512, "pma": 100}
+    tracker.manual_release(handle)
+    del b
+    gc.collect()
+    assert tracker.bytes_by_tag() == {}
+    assert tracker.current_bytes == 0
+
+
+def test_peak_bytes_by_tag_and_reset():
+    import gc
+
+    tracker = MemoryTracker()
+    a = tracker.track(np.zeros(512, dtype=np.float32), tag="csr")
+    del a
+    gc.collect()
+    b = tracker.track(np.zeros(64, dtype=np.float32), tag="csr")
+    c = tracker.track(np.zeros(32, dtype=np.float32), tag="state_stack")
+    peaks = tracker.peak_bytes_by_tag()
+    # Per-tag peaks are each tag's own maximum over time; they need not sum
+    # to the global peak (which is the max of the total).
+    assert peaks["csr"] == 2048
+    assert peaks["state_stack"] == 128
+    assert tracker.peak_bytes == 2048
+    tracker.reset_peak()
+    assert tracker.peak_bytes_by_tag() == {"csr": 256, "state_stack": 128}
+    assert tracker.peak_bytes == tracker.current_bytes
+    del b, c

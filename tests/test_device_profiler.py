@@ -111,3 +111,34 @@ def test_sibling_phases_inside_outer():
             time.sleep(0.01)
     assert p.calls("x") == 1 and p.calls("y") == 1
     assert p.calls("outer") == 1
+
+
+def test_reset_clears_adhoc_counters_and_timers():
+    """Regression: reset() must clear *every* counter, including ad-hoc
+    event names outside COUNTERS, and the phase timers with them."""
+    p = Profiler()
+    with p.phase("gnn"):
+        pass
+    p.count("csr_cache_hits", 2)
+    p.count("my_adhoc_event", 5)
+    assert p.counters_snapshot() == {"csr_cache_hits": 2, "my_adhoc_event": 5}
+    p.reset()
+    assert p.counters_snapshot() == {}
+    assert p.counter("csr_cache_hits") == 0
+    assert p.counter("my_adhoc_event") == 0
+    assert p.seconds("gnn") == 0.0 and p.calls("gnn") == 0
+
+
+def test_reset_inside_open_phase_does_not_crash():
+    """Regression: reset() while a phase() context is still open used to
+    leave the context's finally popping an empty stack (IndexError)."""
+    p = Profiler()
+    with p.phase("outer"):
+        with p.phase("inner"):
+            p.reset()
+    # The discarded intervals are dropped, not recorded.
+    assert p.calls("inner") == 0 and p.calls("outer") == 0
+    # The profiler is fully usable afterwards.
+    with p.phase("after"):
+        pass
+    assert p.calls("after") == 1

@@ -1,0 +1,316 @@
+"""Tracing subsystem: span semantics, exporters, manifests, non-interference.
+
+Covers the observability acceptance criteria: matched B/E pairs in the
+Chrome export, spans closed even when a timestep raises mid-sequence,
+bitwise-identical training losses with the tracer disabled, and the
+Figure 9 span-aggregate/profiler consistency that lets the bench table be
+rendered from one code path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset import load_sx_mathoverflow
+from repro.device import current_device
+from repro.obs import (
+    NULL_TRACER,
+    RunManifest,
+    Tracer,
+    build_run_manifest,
+    chrome_trace,
+    current_tracer,
+    prometheus_text,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.tensor import init
+from repro.train import (
+    STGraphLinkPredictor,
+    STGraphTrainer,
+    make_link_prediction_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def dynamic_ds():
+    return load_sx_mathoverflow(scale=0.01, feature_size=4, max_snapshots=6)
+
+
+def _make_trainer(ds, seed: int = 7) -> tuple[STGraphTrainer, list]:
+    samples = make_link_prediction_samples(ds.dtdg, 32, seed=seed)
+    init.set_seed(seed)
+    model = STGraphLinkPredictor(4, 4)
+    trainer = STGraphTrainer(
+        model, ds.build_gpma(), sequence_length=3,
+        task="link_prediction", link_samples=samples,
+    )
+    return trainer, samples
+
+
+# ---------------------------------------------------------------------------
+# Core span semantics
+# ---------------------------------------------------------------------------
+def test_null_tracer_is_default_and_inert():
+    assert current_tracer() is NULL_TRACER
+    assert not NULL_TRACER.enabled
+    with NULL_TRACER.span("anything", "cat", t=3):
+        pass
+    NULL_TRACER.instant("nothing")
+    assert NULL_TRACER.open_span_count == 0
+
+
+def test_use_tracer_nests_and_restores():
+    t1, t2 = Tracer(name="one"), Tracer(name="two")
+    with use_tracer(t1):
+        assert current_tracer() is t1
+        with use_tracer(t2):
+            assert current_tracer() is t2
+        with use_tracer(None):  # None keeps tracing disabled
+            assert current_tracer() is NULL_TRACER
+        assert current_tracer() is t1
+    assert current_tracer() is NULL_TRACER
+
+
+def test_self_time_aggregation_no_double_count():
+    tr = Tracer()
+    with tr.span("outer", "work"):
+        time.sleep(0.02)
+        with tr.span("inner", "work"):
+            time.sleep(0.02)
+    by_cat = tr.aggregate_by_cat()
+    by_name = tr.aggregate_by_name()
+    # Self time per cat: outer's self excludes inner, so the "work" total
+    # equals outer's inclusive duration (both spans share the category).
+    assert by_cat["work"] == pytest.approx(by_name["outer"]["seconds"], rel=0.2)
+    assert by_name["outer"]["calls"] == 1
+    assert by_name["inner"]["calls"] == 1
+    assert by_name["inner"]["seconds"] < by_name["outer"]["seconds"]
+    # Event depths are recorded.
+    events = {e.name: e for e in tr.span_events()}
+    assert events["inner"].depth == 1 and events["outer"].depth == 0
+
+
+def test_span_captures_memory_and_counter_deltas():
+    device = current_device()
+    tr = Tracer()
+    with use_tracer(tr):
+        with tr.span("alloc-span", "test"):
+            keep = device.alloc.zeros(1024, dtype=np.float32, tag="obs-test")
+            device.profiler.count("obs_test_events", 3)
+    (event,) = tr.span_events()
+    assert event.args["mem_delta_bytes"] == 4096
+    assert event.args["d_obs_test_events"] == 3
+    assert event.args["mem_bytes"] >= 4096
+    del keep
+
+
+def test_span_closed_and_tagged_on_exception():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        with tr.span("failing", "test"):
+            raise ValueError("boom")
+    assert tr.open_span_count == 0
+    (event,) = tr.span_events()
+    assert event.args["error"] == "ValueError"
+
+
+def test_max_events_cap_keeps_aggregates():
+    tr = Tracer(max_events=2)
+    for i in range(5):
+        with tr.span(f"s{i}", "capped"):
+            pass
+    assert len(tr.events) == 2
+    assert tr.dropped_events == 3
+    assert sum(v["calls"] for v in tr.aggregate_by_name().values()) == 5
+
+
+# ---------------------------------------------------------------------------
+# Failure injection: no dangling spans when a timestep raises mid-sequence
+# ---------------------------------------------------------------------------
+class _FailingTrainer(STGraphTrainer):
+    def _loss_at(self, t, pred, targets):
+        if t == 1:
+            raise RuntimeError("injected mid-sequence failure")
+        return super()._loss_at(t, pred, targets)
+
+
+def test_tracing_survives_mid_sequence_failure(dynamic_ds):
+    samples = make_link_prediction_samples(dynamic_ds.dtdg, 32, seed=3)
+    init.set_seed(3)
+    model = STGraphLinkPredictor(4, 4)
+    trainer = _FailingTrainer(
+        model, dynamic_ds.build_gpma(), sequence_length=3,
+        task="link_prediction", link_samples=samples,
+    )
+    tr = Tracer(name="failure-injection")
+    with use_tracer(tr):
+        with pytest.raises(RuntimeError, match="injected"):
+            trainer.train_epoch(dynamic_ds.features)
+    # Every span closed on the way out of the raise...
+    assert tr.open_span_count == 0
+    # ...the failing timestamp (and its ancestors) carry the error tag...
+    tagged = [e for e in tr.span_events() if e.args.get("error") == "RuntimeError"]
+    assert any(e.name == "timestamp[1]" for e in tagged)
+    assert any(e.name == "epoch" for e in tagged)
+    # ...and the Chrome export still has matched, well-nested B/E pairs.
+    _assert_balanced(chrome_trace(tr)["traceEvents"])
+
+
+def _assert_balanced(trace_events: list[dict]) -> None:
+    stack: list[str] = []
+    for e in trace_events:
+        if e["ph"] == "B":
+            stack.append(e["name"])
+        elif e["ph"] == "E":
+            assert stack and stack[-1] == e["name"], (
+                f"unmatched E for {e['name']!r}; stack top: {stack[-1] if stack else None}"
+            )
+            stack.pop()
+    assert not stack, f"dangling B events: {stack}"
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+def test_chrome_trace_structure(dynamic_ds):
+    trainer, _ = _make_trainer(dynamic_ds)
+    tr = Tracer(name="chrome")
+    with use_tracer(tr):
+        trainer.train_epoch(dynamic_ds.features)
+    trace = chrome_trace(tr)
+    events = trace["traceEvents"]
+    assert trace["displayTimeUnit"] == "ms"
+    assert events[0]["ph"] == "M"  # process_name metadata first
+    _assert_balanced(events)
+    # Timestamps non-decreasing (the format's required ordering).
+    ts = [e["ts"] for e in events if e["ph"] in ("B", "E", "i")]
+    assert ts == sorted(ts)
+    # The taxonomy is present: per-timestamp spans with graph_update vs
+    # per-layer forward/backward splits, plus state-stack instants.
+    names = {e["name"] for e in events}
+    assert {"epoch", "sequence", "graph_update", "backward", "optimizer"} <= names
+    assert any(n.startswith("timestamp[") for n in names)
+    assert any(n.startswith("forward/") for n in names)
+    assert any(n.startswith("backward/") for n in names)
+    assert any(e["ph"] == "i" and e["name"] == "state_stack.push" for e in events)
+    # Kernel spans embed the plan id in their name.
+    assert any(n.startswith("plan_") and n.endswith("_fwd") for n in names)
+    # Allocator byte deltas ride on span args.
+    assert any("mem_delta_bytes" in e.get("args", {}) for e in events if e["ph"] == "B")
+
+
+def test_write_exporters_roundtrip(tmp_path, dynamic_ds):
+    trainer, _ = _make_trainer(dynamic_ds)
+    tr = Tracer(name="files")
+    with use_tracer(tr):
+        trainer.train_epoch(dynamic_ds.features)
+    chrome_path = write_chrome_trace(tr, str(tmp_path / "out" / "run.json"))
+    with open(chrome_path) as fh:
+        assert json.load(fh)["otherData"]["tracer"] == "files"
+    jsonl_path = write_jsonl(tr.events, str(tmp_path / "run.events.jsonl"))
+    rows = [json.loads(line) for line in open(jsonl_path)]
+    assert len(rows) == len(tr.events)
+    assert all("name" in r and "ts_us" in r for r in rows)
+    prom_path = write_prometheus(current_device(), str(tmp_path / "run.prom"), tr)
+    text = open(prom_path).read()
+    assert 'repro_span_self_seconds_total{cat="gnn"}' in text
+    assert "repro_memory_peak_bytes" in text
+    assert "repro_kernel_launches_total" in text
+
+
+def test_prometheus_text_without_tracer():
+    text = prometheus_text(current_device())
+    assert "repro_phase_seconds_total" in text
+    assert "repro_span_self_seconds_total" not in text
+
+
+# ---------------------------------------------------------------------------
+# Run manifest
+# ---------------------------------------------------------------------------
+def test_manifest_collects_and_roundtrips(tmp_path, dynamic_ds):
+    trainer, _ = _make_trainer(dynamic_ds)
+    tr = Tracer(name="manifest-run")
+    with use_tracer(tr):
+        trainer.train_epoch(dynamic_ds.features)
+    manifest = build_run_manifest(
+        current_device(), tracer=tr, graph=trainer.graph,
+        system="gpma", dataset=dynamic_ds.name,
+        command="pytest", results={"final_loss": 1.0},
+    )
+    assert manifest.graph_kind == "gpma"
+    assert manifest.plan_ids and all(p.startswith("plan_") for p in manifest.plan_ids)
+    assert manifest.span_seconds.get("gnn", 0) > 0
+    assert manifest.cache_config["enable_cache"] is True
+    assert manifest.kernel_launches > 0
+    assert manifest.counters["ctx_cache_hits"] >= 0
+    path = manifest.write(str(tmp_path / "m" / "manifest.json"))
+    loaded = RunManifest.load(path)
+    assert loaded.plan_ids == manifest.plan_ids
+    assert loaded.span_seconds == manifest.span_seconds
+    assert loaded.results == {"final_loss": 1.0}
+    # Unknown keys from future schemas are ignored on load.
+    data = json.load(open(path))
+    data["from_the_future"] = True
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    assert RunManifest.load(path).run_name == "manifest-run"
+
+
+# ---------------------------------------------------------------------------
+# Non-interference: tracing must not change training
+# ---------------------------------------------------------------------------
+def test_losses_bitwise_identical_with_and_without_tracer(dynamic_ds):
+    trainer_a, _ = _make_trainer(dynamic_ds, seed=11)
+    losses_plain = trainer_a.train(dynamic_ds.features, epochs=3)
+
+    trainer_b, _ = _make_trainer(dynamic_ds, seed=11)
+    with use_tracer(Tracer(name="traced")):
+        losses_traced = trainer_b.train(dynamic_ds.features, epochs=3)
+
+    assert losses_plain == losses_traced  # bitwise, not approx
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 single code path: span aggregates vs profiler phases
+# ---------------------------------------------------------------------------
+def test_fig9_span_aggregates_consistent_with_profiler(dynamic_ds):
+    from repro.bench.measure import run_dynamic_experiment
+
+    r = run_dynamic_experiment(
+        "gpma", lambda **kw: dynamic_ds, epochs=2, warmup=0,
+        feature_size=4, sequence_length=3,
+        tracer=Tracer(name="fig9-consistency", keep_events=False),
+    )
+    gnn_span, upd_span = r.time_split()
+    assert r.span_seconds, "traced run must fill span_seconds"
+    # The spans wrap exactly the profiler's gnn/graph_update phase regions,
+    # so the two attributions agree up to context-manager overhead.
+    for span_s, phase_s in ((gnn_span, r.gnn_seconds), (upd_span, r.graph_update_seconds)):
+        assert phase_s > 0
+        assert abs(span_s - phase_s) <= max(0.3 * phase_s, 5e-3)
+
+
+def test_fig9_rows_use_span_aggregates():
+    from repro.bench.measure import RunResult
+    from repro.bench.report import fig9_rows, format_fig9_table
+
+    r = RunResult(
+        system="gpma", dataset="d", params={"F": 8},
+        gnn_seconds=999.0, graph_update_seconds=999.0,  # must be ignored
+        span_seconds={"gnn": 3.0, "graph_update": 1.0},
+    )
+    (row,) = fig9_rows([r])
+    assert row["gnn_%"] == 75.0 and row["update_%"] == 25.0
+    assert "gnn_%" in format_fig9_table([r])
+    # Untraced runs fall back to the profiler fields through the same path.
+    r2 = RunResult(system="gpma", dataset="d", params={"F": 8},
+                   gnn_seconds=1.0, graph_update_seconds=3.0)
+    (row2,) = fig9_rows([r2])
+    assert row2["update_%"] == 75.0
