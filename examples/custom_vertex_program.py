@@ -27,6 +27,18 @@ def gated_attention(v):
     return v.agg_sum(lambda nb: nb.ft * alpha) * v.norm
 
 
+#: (fn, feature_widths, grad_features, name) tuples `repro lint --examples`
+#: compiles and verifies without running main().
+LINT_SPECS = [
+    (
+        gated_attention,
+        {"ft": "v", "score_l": "s", "score_r": "s", "norm": "s"},
+        {"ft", "score_l", "score_r"},
+        "gated_attention",
+    ),
+]
+
+
 class GatedAttentionConv(VertexCentricLayer):
     def __init__(self, in_features: int, out_features: int) -> None:
         super().__init__(

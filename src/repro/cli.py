@@ -15,6 +15,12 @@ Commands
 ``trace --out traces/run.json``
     Short traced TGCN training run on a generated DTDG; writes the Chrome
     trace, JSONL event log, run manifest, and Prometheus metrics dump.
+``lint``
+    Compile every nn layer program (and, with ``--examples``, the vertex
+    programs registered in ``examples/``) with build-time verification
+    off, then run the full verifier suite on each plan and print the
+    diagnostics.  ``--codes`` prints the STG0xx code table.  Exit status
+    is non-zero iff any program has an error-severity diagnostic.
 
 ``train`` and ``bench`` also accept ``--trace out.json``: the run executes
 under a :class:`~repro.obs.tracer.Tracer` and the same four artifacts are
@@ -33,6 +39,10 @@ __all__ = ["main"]
 _MODELS = ("tgcn", "gconv_gru", "gconv_lstm", "dcrnn", "a3tgcn")
 _LAYERS = ("gcn", "gat", "sage", "cheb", "dconv")
 _EXPERIMENTS = ("table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "table3")
+_LINT_PROGRAMS = (
+    "gcn", "gat", "sage", "cheb", "dconv", "rgcn",
+    "tgcn", "gconv_gru", "gconv_lstm", "a3tgcn", "evolve_gcn", "dcrnn",
+)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -264,6 +274,96 @@ def _run_bench_experiment(args: argparse.Namespace) -> None:
         print(exp.table3_summary(static, dyn_t, dyn_m)[1])
 
 
+def _lint_factories(features: int) -> dict:
+    """Constructors for every nn program ``repro lint`` verifies."""
+    from repro.nn import (
+        A3TGCN,
+        DCRNN,
+        ChebConv,
+        DConv,
+        EvolveGCNO,
+        GATConv,
+        GConvGRU,
+        GConvLSTM,
+        GCNConv,
+        RGCNConv,
+        SAGEConv,
+        TGCN,
+    )
+
+    f = features
+    return {
+        "gcn": lambda: GCNConv(f, f),
+        "gat": lambda: GATConv(f, f, heads=2),
+        "sage": lambda: SAGEConv(f, f),
+        "cheb": lambda: ChebConv(f, f, k=3),
+        "dconv": lambda: DConv(f, f, k=2),
+        "rgcn": lambda: RGCNConv(f, f, num_relations=3),
+        "tgcn": lambda: TGCN(f, f),
+        "gconv_gru": lambda: GConvGRU(f, f),
+        "gconv_lstm": lambda: GConvLSTM(f, f),
+        "a3tgcn": lambda: A3TGCN(f, f, periods=3),
+        "evolve_gcn": lambda: EvolveGCNO(f, f),
+        "dcrnn": lambda: DCRNN(f, f, k=2),
+    }
+
+
+def _lint_example_specs() -> list:
+    """(fn, widths, grads, name) tuples from ``LINT_SPECS`` in examples/."""
+    import importlib.util
+    from pathlib import Path
+
+    specs: list = []
+    root = Path(__file__).resolve().parents[2] / "examples"
+    if not root.is_dir():
+        return specs
+    for path in sorted(root.glob("*.py")):
+        if "LINT_SPECS" not in path.read_text(encoding="utf-8"):
+            continue
+        module_spec = importlib.util.spec_from_file_location(f"_repro_lint_{path.stem}", path)
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+        specs.extend(getattr(module, "LINT_SPECS", []))
+    return specs
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.compiler import plan_cache, verify_plan, verification_disabled
+    from repro.compiler.diagnostics import code_table
+
+    if args.codes:
+        for code, severity, description in code_table():
+            print(f"{code}  {severity:<7s}  {description}")
+        return 0
+
+    cache = plan_cache()
+    # Build with the verifier off so broken programs *report* instead of
+    # raising mid-construction — `repro lint` is the on-demand batch mode.
+    # Every plan in the process-wide cache is then verified, whether it was
+    # built here or already warm.
+    with verification_disabled():
+        names = _LINT_PROGRAMS if args.layer == "all" else (args.layer,)
+        factories = _lint_factories(args.features)
+        for name in names:
+            factories[name]()
+        if args.examples:
+            for fn, widths, grads, name in _lint_example_specs():
+                cache.get_or_build(fn, feature_widths=widths, grad_features=grads, name=name)
+
+    plans = cache.plans()
+    errors = warnings = 0
+    for plan in plans:
+        report = verify_plan(plan)
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        status = "ok" if report.ok() else report.summary().split(": ", 1)[1]
+        print(f"  {plan.name:<24s} {status}")
+        for diag in report.diagnostics:
+            print(f"    {diag.render()}")
+    print(f"linted {len(plans)} program(s): {errors} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Short traced training run: ``repro train --trace`` with DTDG defaults."""
     args.trace = args.out
@@ -303,6 +403,14 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--trace", metavar="OUT.json", default=None,
                          help="trace the experiment; writes the same artifact set as train --trace")
 
+    p_lint = sub.add_parser("lint", help="run the compiler verifier over layer programs")
+    p_lint.add_argument("--layer", choices=_LINT_PROGRAMS + ("all",), default="all")
+    p_lint.add_argument("--features", type=int, default=8)
+    p_lint.add_argument("--examples", action="store_true",
+                        help="also verify vertex programs registered via LINT_SPECS in examples/")
+    p_lint.add_argument("--codes", action="store_true",
+                        help="print the STG0xx diagnostic code table and exit")
+
     p_trace = sub.add_parser("trace", help="short traced TGCN run on a generated DTDG")
     p_trace.add_argument("--out", metavar="OUT.json", default="traces/run.json")
     p_trace.add_argument("--dataset", default="sx-mathoverflow")
@@ -324,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

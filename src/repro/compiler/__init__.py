@@ -35,11 +35,20 @@ The compiler pipeline then mirrors Seastar's:
    once; execution engines (:mod:`repro.core.engine`) run plans.
 """
 
+from repro.compiler.diagnostics import CODES, Diagnostic, LintReport, VerifyError, code_table
 from repro.compiler.ir import Stage, VNode
 from repro.compiler.symbols import Vertex, trace
 from repro.compiler.plan import PlanCache, ProgramPlan, plan_cache, plan_key
 from repro.compiler.program import VertexProgram, compile_vertex_program
 from repro.compiler.interp import interpret_program, trace_execution
+from repro.compiler.tir import IMPLICIT_ONES
+from repro.compiler.verify import (
+    run_verifier,
+    set_verification,
+    verification_disabled,
+    verification_enabled,
+    verify_plan,
+)
 from repro.compiler.viz import tensor_ir_to_dot, vertex_ir_to_dot
 
 __all__ = [
@@ -57,4 +66,15 @@ __all__ = [
     "trace_execution",
     "vertex_ir_to_dot",
     "tensor_ir_to_dot",
+    "IMPLICIT_ONES",
+    "CODES",
+    "code_table",
+    "Diagnostic",
+    "LintReport",
+    "VerifyError",
+    "run_verifier",
+    "verify_plan",
+    "set_verification",
+    "verification_enabled",
+    "verification_disabled",
 ]

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.compiler.lower import CompileError
-from repro.compiler.tir import TOp, TProgram
+from repro.compiler.tir import IMPLICIT_ONES, TOp, TProgram
 
 __all__ = ["BackwardResult", "build_backward"]
 
@@ -138,10 +138,10 @@ class _BwdBuilder:
         elif kind == "spmm":
             w, x = op.ins
             direction = op.attrs.get("direction", "in")
-            w_val = "__ones__" if w == "__ones__" else self.use_fwd(w)
+            w_val = IMPLICIT_ONES if w == IMPLICIT_ONES else self.use_fwd(w)
             gx = self.emit("spmm_T", (w_val, g), "node", self.widths[x], direction=direction)
             self.accumulate(x, gx)
-            if w != "__ones__":
+            if w != IMPLICIT_ONES:
                 gw = self.emit(
                     "edge_dot", (self.use_fwd(x), g), "edge", "s", direction=direction
                 )
@@ -258,7 +258,7 @@ def _dce(prog: TProgram) -> None:
     for op in reversed(prog.ops):
         if op.out in needed:
             kept.append(op)
-            needed.update(n for n in op.ins if n != "__ones__")
+            needed.update(n for n in op.ins if n != IMPLICIT_ONES)
     prog.ops = list(reversed(kept))
     prog.inputs = {k: v for k, v in prog.inputs.items() if k in needed}
     prog.consts = {k: v for k, v in prog.consts.items() if k in needed}

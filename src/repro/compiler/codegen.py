@@ -17,7 +17,7 @@ Two modes:
 
 from __future__ import annotations
 
-from repro.compiler.tir import TOp, TProgram
+from repro.compiler.tir import IMPLICIT_ONES, TOp, TProgram
 from repro.device.kernel import CompiledKernel
 
 __all__ = ["generate_forward_source", "generate_backward_source", "compile_program", "generate_op_kernels"]
@@ -47,7 +47,7 @@ _PLAIN_CALLS = {"colsum", "relu_mask", "leaky_mask"}
 
 def _render_call(op: TOp) -> str:
     """One IR op as a runtime-primitive call expression."""
-    args = ["None" if n == "__ones__" else n for n in op.ins]
+    args = ["None" if n == IMPLICIT_ONES else n for n in op.ins]
     if op.kind == "ew":
         fn = f"ew_{op.attrs['op']}"
         extra = [f"{k}={v!r}" for k, v in sorted(op.attrs.items()) if k != "op"]
@@ -125,9 +125,9 @@ def generate_op_kernels(prog: TProgram, prefix: str) -> list[tuple[TOp, Compiled
     kernels: list[tuple[TOp, CompiledKernel]] = []
     for i, op in enumerate(prog.ops):
         entry = f"{prefix}_op{i}_{op.kind}"
-        params = ", ".join(n for n in op.ins if n != "__ones__")
+        params = ", ".join(n for n in op.ins if n != IMPLICIT_ONES)
         head = f"def {entry}(ctx, {params}):" if params else f"def {entry}(ctx):"
-        # "__ones__" renders as a literal None argument, so it is not a param.
+        # The implicit ones weight renders as a literal None argument, so it is not a param.
         source = "\n".join([head, f"    return {_render_call(op)}"]) + "\n"
         kernels.append((op, compile_program(source, entry, meta={"op": op.kind})))
     return kernels

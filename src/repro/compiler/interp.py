@@ -18,7 +18,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.compiler.runtime import RUNTIME_NAMESPACE, GraphContext
-from repro.compiler.tir import TOp, TProgram
+from repro.compiler.tir import IMPLICIT_ONES, TOp, TProgram
 
 __all__ = ["interpret_program", "trace_execution"]
 
@@ -45,7 +45,7 @@ _CTX_KINDS = {
 
 
 def _eval_op(op: TOp, ctx: GraphContext, env: dict[str, Any]) -> Any:
-    args = [None if n == "__ones__" else env[n] for n in op.ins]
+    args = [None if n == IMPLICIT_ONES else env[n] for n in op.ins]
     if op.kind == "ew":
         fn = RUNTIME_NAMESPACE[f"ew_{op.attrs['op']}"]
         kwargs = {k: v for k, v in op.attrs.items() if k != "op"}

@@ -171,14 +171,20 @@ class VNode:
         return [n for n in self.topo() if n.op == "feat"]
 
     def signature(self) -> str:
-        """Structural hash-ready string (used as the kernel-cache key)."""
+        """Structural hash-ready string (used as the kernel-cache key).
+
+        Name and attrs are emitted with explicit ``name=…|attrs=…``
+        delimiters: a bare concatenation would let distinct DAGs collide on
+        the plan-cache key (e.g. a leaf named ``"xslope=0.01"`` vs a leaf
+        ``"x"`` with ``attrs={"slope": 0.01}``).
+        """
         parts = []
         ids: dict[int, int] = {}
         for i, node in enumerate(self.topo()):
             ids[id(node)] = i
             arg_ids = ",".join(str(ids[id(a)]) for a in node.args)
-            attrs = ",".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
-            parts.append(f"{i}:{node.op}[{node.stage.value}]({arg_ids}){node.name}{attrs}")
+            attrs = ",".join(f"{k}={v!r}" for k, v in sorted(node.attrs.items()))
+            parts.append(f"{i}:{node.op}[{node.stage.value}]({arg_ids})name={node.name}|attrs={attrs}")
         return ";".join(parts)
 
     def pretty(self) -> str:

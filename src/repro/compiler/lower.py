@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.ir import Stage, VNode
 from repro.compiler.symbols import TraceResult
-from repro.compiler.tir import EW_BINARY, EW_UNARY, TOp, TProgram
+from repro.compiler.tir import EW_BINARY, EW_UNARY, IMPLICIT_ONES, TOp, TProgram
 
 __all__ = ["CompileError", "lower_trace"]
 
@@ -261,7 +261,7 @@ class _Lowerer:
                     "ew", (payload, cbuf), "node", self.widths[payload], op="mul"
                 )
         if payload is not None:
-            w_in = weight if weight is not None else "__ones__"
+            w_in = weight if weight is not None else IMPLICIT_ONES
             result = self.emit(
                 "spmm", (w_in, payload), "node", self.widths[payload], direction=direction
             )

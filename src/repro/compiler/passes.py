@@ -5,14 +5,17 @@
 * :func:`dce` — drop ops and inputs unreachable from the outputs.
 * :func:`saved_analysis` — report the backward program's saved-buffer set
   against the full forward buffer inventory; the difference is the memory
-  the State Stack optimization avoids retaining per timestamp.
+  the State Stack optimization avoids retaining per timestamp, and any
+  saved read *not* produced by the forward program lands in ``missing`` —
+  the ``F_b ⊆ F_f`` State-Stack safety condition the verifier turns into
+  an ``STG021`` error.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.compiler.tir import TOp, TProgram
+from repro.compiler.tir import IMPLICIT_ONES, TOp, TProgram
 
 __all__ = ["cse", "dce", "saved_analysis", "SavedAnalysis"]
 
@@ -48,7 +51,7 @@ def dce(prog: TProgram) -> int:
     for op in reversed(prog.ops):
         if op.out in needed:
             kept.append(op)
-            needed.update(n for n in op.ins if n != "__ones__")
+            needed.update(n for n in op.ins if n != IMPLICIT_ONES)
     removed = len(prog.ops) - len(kept)
     prog.ops = list(reversed(kept))
     prog.inputs = {k: v for k, v in prog.inputs.items() if k in needed}
@@ -62,22 +65,36 @@ class SavedAnalysis:
 
     saved: list[str]
     all_forward_buffers: list[str]
+    #: saved reads the forward program never produces — the F_b ⊆ F_f
+    #: State-Stack safety condition is violated iff this is non-empty
+    #: (the verifier reports each entry as STG021)
+    missing: list[str] = field(default_factory=list)
 
     @property
     def pruned(self) -> list[str]:
         """Forward buffers the optimization avoids retaining."""
         return [b for b in self.all_forward_buffers if b not in set(self.saved)]
 
+    @property
+    def state_stack_safe(self) -> bool:
+        """True when every saved read is produced by the forward program."""
+        return not self.missing
+
     def summary(self) -> str:
         """One-line saved-vs-pruned report."""
-        return (
+        text = (
             f"state stack keeps {len(self.saved)}/{len(self.all_forward_buffers)} "
             f"forward buffers: {self.saved} (pruned: {self.pruned})"
         )
+        if self.missing:
+            text += f" [UNSAFE: saved-but-never-produced: {self.missing}]"
+        return text
 
 
 def saved_analysis(fwd: TProgram, bwd: TProgram) -> SavedAnalysis:
     """Compare the backward program's reads against all forward buffers."""
     saved = [name for name, (kind, _) in bwd.inputs.items() if kind == "saved"]
     all_buffers = list(fwd.inputs) + [op.out for op in fwd.ops]
-    return SavedAnalysis(saved=saved, all_forward_buffers=all_buffers)
+    produced = set(all_buffers)
+    missing = [name for name in saved if name not in produced]
+    return SavedAnalysis(saved=saved, all_forward_buffers=all_buffers, missing=missing)

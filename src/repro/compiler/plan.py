@@ -22,6 +22,14 @@ the compile-time half of that split:
 All pipeline work (lower → autodiff → passes → codegen → kernel compile)
 runs under the device profiler's ``"compile"`` phase, so compile cost is
 measurable and visibly amortized in Figure-9-style breakdowns.
+
+Every build also runs the compiler verifier (:mod:`repro.compiler.verify`)
+before codegen: stage-algebra, SSA, gradient-completeness, ``F_b ⊆ F_f``
+State-Stack safety, and write-hazard checks.  Errors raise
+:class:`~repro.compiler.diagnostics.VerifyError`; warnings ride on the plan
+(``plan.lint``), surface as ``verify`` instant events on an active tracer,
+and are totalled in run manifests.  ``REPRO_VERIFY=0`` or
+:func:`~repro.compiler.verify.set_verification` is the escape hatch.
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ from repro.compiler.codegen import (
     generate_forward_source,
     generate_op_kernels,
 )
+from repro.compiler.diagnostics import LintReport
 from repro.compiler.ir import VNode
 from repro.compiler.lower import CompileError, lower_trace
 from repro.compiler.passes import SavedAnalysis, cse, dce, saved_analysis
 from repro.compiler.symbols import TraceResult, Vertex, trace
 from repro.compiler.tir import TOp, TProgram
+from repro.compiler.verify import run_verifier, verification_enabled
 from repro.device import current_device
 from repro.device.kernel import CompiledKernel
 
@@ -72,10 +82,14 @@ class ProgramPlan:
     grad_map: Mapping[str, str]
     saved_spec: tuple[str, ...]
     analysis: SavedAnalysis
+    #: forward input buffers declared differentiable (grad-completeness set)
+    wrt: tuple[str, ...] = ()
     fwd_kernel: CompiledKernel | None = None
     bwd_kernel: CompiledKernel | None = None
     fwd_op_kernels: tuple[tuple[TOp, CompiledKernel], ...] | None = None
     bwd_op_kernels: tuple[tuple[TOp, CompiledKernel], ...] | None = None
+    #: verifier findings from the build (None when verification was disabled)
+    lint: LintReport | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -101,15 +115,16 @@ class ProgramPlan:
 
     def describe(self) -> str:
         """Human-readable compilation report (IR + programs + saved set)."""
-        return "\n\n".join(
-            [
-                f"== plan {self.plan_id} ==",
-                f"== vertex IR ==\n{self.traced.root.pretty()}",
-                f"== forward ==\n{self.fwd_prog.render()}",
-                f"== backward ==\n{self.bwd_prog.render()}",
-                f"== state stack ==\n{self.analysis.summary()}",
-            ]
-        )
+        sections = [
+            f"== plan {self.plan_id} ==",
+            f"== vertex IR ==\n{self.traced.root.pretty()}",
+            f"== forward ==\n{self.fwd_prog.render()}",
+            f"== backward ==\n{self.bwd_prog.render()}",
+            f"== state stack ==\n{self.analysis.summary()}",
+        ]
+        if self.lint is not None:
+            sections.append(f"== verifier ==\n{self.lint.render()}")
+        return "\n\n".join(sections)
 
 
 def plan_key(
@@ -149,6 +164,11 @@ def plan_key(
         )
     )
     return "plan_" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+#: verification results by plan content hash; survives plan-cache clears
+#: (soundness: the verifier's inputs are deterministic functions of the key)
+_VERIFY_MEMO: dict[str, LintReport] = {}
 
 
 def _build_plan(
@@ -200,6 +220,26 @@ def _build_plan(
         # dict, so correctness is unchanged).
         saved_spec = tuple(analysis.all_forward_buffers)
 
+    # Verification runs before codegen: a plan that fails the stage-algebra,
+    # SSA, grad-completeness, F_b ⊆ F_f, or write-hazard checks never
+    # reaches the kernel compiler.  Warnings ride on the plan and surface
+    # through any active tracer as `verify` instant events.  Like the kernel
+    # launcher's source dedup, the result is memoized by content hash across
+    # plan-cache clears: every verifier input is a deterministic function of
+    # the plan key, so a re-verification can never disagree with the first.
+    lint: LintReport | None = None
+    if verification_enabled():
+        lint = _VERIFY_MEMO.get(plan_id)
+        if lint is None:
+            lint = run_verifier(
+                traced.root, fwd_prog, bwd_prog, grad_map, wrt, saved_spec,
+                subject=name, analysis=analysis,
+            )
+            _VERIFY_MEMO[plan_id] = lint
+        lint.raise_if_errors()
+        if lint.warnings:
+            _emit_lint_warnings(lint)
+
     # Entry points derive from the content hash, not the display name, so
     # the generated source of a cached plan is deterministic no matter which
     # layer requested the compilation first.
@@ -229,11 +269,28 @@ def _build_plan(
         grad_map=grad_map,
         saved_spec=saved_spec,
         analysis=analysis,
+        wrt=tuple(sorted(wrt)),
         fwd_kernel=fwd_kernel,
         bwd_kernel=bwd_kernel,
         fwd_op_kernels=fwd_op_kernels,
         bwd_op_kernels=bwd_op_kernels,
+        lint=lint,
     )
+
+
+def _emit_lint_warnings(lint: LintReport) -> None:
+    """Surface verifier warnings on the active tracer as instant events."""
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    for diag in lint.warnings:
+        tracer.instant(
+            f"lint:{diag.code}",
+            cat="verify",
+            program=diag.program or lint.subject,
+            message=diag.message,
+            where=diag.where,
+        )
 
 
 class PlanCache:

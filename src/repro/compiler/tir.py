@@ -28,10 +28,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TOp", "TProgram", "EW_UNARY", "EW_BINARY"]
+__all__ = ["TOp", "TProgram", "EW_UNARY", "EW_BINARY", "IMPLICIT_ONES"]
 
 EW_UNARY = {"neg", "exp", "log", "tanh", "sigmoid", "relu", "leaky_relu", "recip"}
 EW_BINARY = {"add", "sub", "mul", "div"}
+
+#: The implicit all-ones edge weight of an unweighted SpMM.  A *declared*
+#: pseudo input shared by lowering, autodiff, DCE, codegen, and both
+#: engines — the verifier only permits it in the weight slot of the SpMM
+#: family (see ``OP_SCHEMAS`` in :mod:`repro.compiler.verify`).
+IMPLICIT_ONES = "__ones__"
 
 
 @dataclass(frozen=True)
@@ -78,7 +84,7 @@ class TProgram:
         available = set(self.inputs) | set(self.consts)
         for op in self.ops:
             for name in op.ins:
-                if name == "__ones__":
+                if name == IMPLICIT_ONES:
                     continue
                 if name not in available:
                     raise ValueError(f"{self.name}: op {op.render()} reads undefined buffer {name!r}")

@@ -9,7 +9,7 @@ output is just a string.
 from __future__ import annotations
 
 from repro.compiler.ir import Stage, VNode
-from repro.compiler.tir import TProgram
+from repro.compiler.tir import IMPLICIT_ONES, TProgram
 
 __all__ = ["vertex_ir_to_dot", "tensor_ir_to_dot"]
 
@@ -52,7 +52,7 @@ def tensor_ir_to_dot(prog: TProgram) -> str:
     seen: set[str] = set()
 
     def declare(buf: str) -> None:
-        if buf in seen or buf == "__ones__":
+        if buf in seen or buf == IMPLICIT_ONES:
             return
         seen.add(buf)
         space = prog.spaces.get(buf, "scalar")
@@ -76,7 +76,7 @@ def tensor_ir_to_dot(prog: TProgram) -> str:
         op_label = op.kind + (f"\\n{attrs}" if attrs else "")
         lines.append(f'  op{i} [label="{_escape(op_label)}", shape=oval, fillcolor="#ffffff"];')
         for src in op.ins:
-            if src != "__ones__":
+            if src != IMPLICIT_ONES:
                 declare(src)
                 lines.append(f'  "{_escape(src)}" -> op{i};')
         lines.append(f'  op{i} -> "{_escape(op.out)}";')

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.compiler.interp import trace_execution
 from repro.compiler.plan import ProgramPlan
+from repro.compiler.tir import IMPLICIT_ONES
 from repro.compiler.runtime import GraphContext
 from repro.device import current_device, feature_adaptive_config
 
@@ -95,7 +96,7 @@ class KernelEngine(ExecutionEngine):
             return device.launcher.launch(plan.fwd_kernel, ctx, env)
         env = dict(env)
         for op, kernel in plan.fwd_op_kernels:
-            args = [env[n] for n in op.ins if n != "__ones__"]
+            args = [env[n] for n in op.ins if n != IMPLICIT_ONES]
             env[op.out] = device.launcher.launch(kernel, ctx, *args)
         for buf, value in plan.fwd_prog.consts.items():
             env.setdefault(buf, value)
@@ -115,7 +116,7 @@ class KernelEngine(ExecutionEngine):
         for buf, value in plan.bwd_prog.consts.items():
             env[buf] = value
         for op, kernel in plan.bwd_op_kernels:
-            args = [env[n] for n in op.ins if n != "__ones__"]
+            args = [env[n] for n in op.ins if n != IMPLICIT_ONES]
             env[op.out] = device.launcher.launch(kernel, ctx, *args)
         return {inp: env[g] for inp, g in plan.grad_map.items()}
 

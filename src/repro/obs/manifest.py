@@ -62,6 +62,9 @@ class RunManifest:
     #: content-hash ids of every plan in the process-wide plan cache
     plan_ids: list[str] = field(default_factory=list)
     plan_cache_stats: dict[str, int] = field(default_factory=dict)
+    #: verifier warnings across all cached plans, keyed by STG0xx code
+    #: (builds with errors never produce a plan, so only warnings appear)
+    lint_warnings: dict[str, int] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     span_seconds: dict[str, float] = field(default_factory=dict)
@@ -116,6 +119,12 @@ def build_run_manifest(
     from repro.compiler.plan import plan_cache
 
     cache = plan_cache()
+    lint_warnings: dict[str, int] = {}
+    for plan in cache.plans():
+        if plan.lint is None:
+            continue
+        for diag in plan.lint.warnings:
+            lint_warnings[diag.code] = lint_warnings.get(diag.code, 0) + 1
     manifest = RunManifest(
         created_unix=time.time(),
         git_rev=git_revision(),
@@ -125,6 +134,7 @@ def build_run_manifest(
         dataset=dataset,
         plan_ids=sorted(p.plan_id for p in cache.plans()),
         plan_cache_stats=cache.stats(),
+        lint_warnings=lint_warnings,
         phase_seconds={k: round(v, 6) for k, v in device.profiler.phase_seconds().items()},
         counters=dict(device.profiler.counters()),
         peak_memory_bytes=device.tracker.peak_bytes,

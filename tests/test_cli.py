@@ -85,3 +85,30 @@ def test_bench_table1(capsys):
 def test_bench_requires_experiment():
     with pytest.raises(SystemExit):
         main(["bench"])
+
+
+def test_lint_all_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "linted" in out and "0 error(s)" in out
+    assert "gat" in out
+
+
+def test_lint_single_layer(capsys):
+    assert main(["lint", "--layer", "gcn", "--features", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_examples(capsys):
+    assert main(["lint", "--examples"]) == 0
+    out = capsys.readouterr().out
+    assert "gated_attention" in out
+    assert "0 error(s)" in out
+
+
+def test_lint_codes_table(capsys):
+    assert main(["lint", "--codes"]) == 0
+    out = capsys.readouterr().out
+    assert "STG001" in out and "STG030" in out
+    assert "error" in out and "warning" in out

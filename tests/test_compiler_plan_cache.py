@@ -188,3 +188,18 @@ def test_misses_time_the_compile_phase():
     warm = profiler.seconds("compile")
     compile_vertex_program(fn, feature_widths=widths)
     assert profiler.seconds("compile") == warm
+
+
+def test_signature_name_attr_collision_resolved():
+    """Distinct DAGs must never share a structural signature.
+
+    The old ``{name}{attrs}`` concatenation let a leaf literally named
+    ``"xslope=0.01"`` collide with a leaf ``"x"`` carrying
+    ``attrs={"slope": 0.01}`` — same cache key, wrong plan served.
+    """
+    from repro.compiler import Stage, VNode
+
+    plain = VNode("feat", (), Stage.SRC, name="xslope=0.01")
+    attred = VNode("feat", (), Stage.SRC, name="x", attrs={"slope": 0.01})
+    assert plain.signature() != attred.signature()
+    assert "name=" in plain.signature() and "|attrs=" in plain.signature()

@@ -314,3 +314,27 @@ def test_fig9_rows_use_span_aggregates():
                    gnn_seconds=1.0, graph_update_seconds=3.0)
     (row2,) = fig9_rows([r2])
     assert row2["update_%"] == 75.0
+
+
+def test_manifest_aggregates_lint_warnings():
+    """Per-code warning totals from every cached plan's lint report."""
+    from repro.compiler import compile_vertex_program, plan_cache
+    from repro.compiler.diagnostics import LintReport
+
+    compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.mlw), feature_widths={"mlw": "v"}
+    )
+    plan = plan_cache().plans()[0]
+    clean = build_run_manifest(current_device())
+    doctored = LintReport(subject=plan.name)
+    doctored.add("STG005", "synthetic warning one")
+    doctored.add("STG005", "synthetic warning two")
+    original = plan.lint
+    object.__setattr__(plan, "lint", doctored)  # frozen dataclass, test-only
+    try:
+        manifest = build_run_manifest(current_device())
+    finally:
+        object.__setattr__(plan, "lint", original)
+    assert manifest.lint_warnings.get("STG005", 0) == clean.lint_warnings.get("STG005", 0) + 2
+    loaded = RunManifest(**{"lint_warnings": manifest.lint_warnings})
+    assert loaded.lint_warnings == manifest.lint_warnings
