@@ -1,0 +1,90 @@
+"""Diff two ``BENCH_nightly.json`` dumps from ``run_all.py --json``.
+
+Usage::
+
+    python benchmarks/diff_nightly.py previous/BENCH_nightly.json BENCH_nightly.json
+
+Prints per-row epoch-time deltas (keyed by system/dataset/params), micro
+median deltas, and reuse-counter changes.  Purely informational: timing on
+shared CI runners is noisy, so the nightly workflow runs this step
+non-gating — the exit status is 0 whenever both files parse, regardless of
+how large the regressions look.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+#: Timing fields are diffed as percentages; counter fields as raw deltas.
+_TIMING_FIELDS = ("epoch_s", "compile_s")
+_COUNTER_FIELDS = ("csr_hits", "csr_misses", "noop_skipped")
+
+
+def _row_key(row: dict) -> tuple:
+    return tuple(
+        (k, row[k]) for k in sorted(row)
+        if k not in _TIMING_FIELDS + _COUNTER_FIELDS + ("peak_MB", "loss", "update_frac")
+    )
+
+
+def _pct(old: float, new: float) -> str:
+    if not old:
+        return "n/a"
+    delta = 100.0 * (new - old) / old
+    return f"{delta:+.1f}%"
+
+
+def diff(prev: dict, curr: dict) -> list[str]:
+    """Human-readable diff lines between two nightly payloads."""
+    lines = [f"elapsed: {prev.get('elapsed_s', 0):.1f}s -> {curr.get('elapsed_s', 0):.1f}s "
+             f"({_pct(prev.get('elapsed_s', 0), curr.get('elapsed_s', 0))})"]
+
+    prev_rows = {_row_key(r): r for r in prev.get("rows", [])}
+    matched = 0
+    for row in curr.get("rows", []):
+        before = prev_rows.get(_row_key(row))
+        if before is None:
+            continue
+        matched += 1
+        label = f"{row.get('system', '?')}/{row.get('dataset', '?')}"
+        known = set(_TIMING_FIELDS) | set(_COUNTER_FIELDS) | {
+            "system", "dataset", "peak_MB", "loss", "update_frac",
+        }
+        extras = [f"{k}={v}" for k, v in row.items() if k not in known]
+        changes = [f"{f} {_pct(before.get(f, 0), row.get(f, 0))}"
+                   for f in _TIMING_FIELDS if f in row]
+        counter_moves = [f"{f} {row.get(f, 0) - before.get(f, 0):+d}"
+                         for f in _COUNTER_FIELDS
+                         if f in row and row.get(f, 0) != before.get(f, 0)]
+        lines.append(f"  {label} [{' '.join(extras)}]: "
+                     f"{', '.join(changes + counter_moves) or 'unchanged'}")
+    lines.append(f"rows matched: {matched}/{len(curr.get('rows', []))}")
+
+    for section in ("micro", "reuse_counters"):
+        before, after = prev.get(section, {}), curr.get(section, {})
+        for key in after:
+            old, new = before.get(key), after[key]
+            if old is None:
+                lines.append(f"  {section}.{key}: (new) {new}")
+            elif isinstance(new, float) and key.endswith("_s"):
+                lines.append(f"  {section}.{key}: {old} -> {new} ({_pct(old, new)})")
+            elif old != new:
+                lines.append(f"  {section}.{key}: {old} -> {new}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: diff_nightly.py PREVIOUS.json CURRENT.json", file=sys.stderr)
+        return 2
+    prev = json.loads(pathlib.Path(argv[0]).read_text())
+    curr = json.loads(pathlib.Path(argv[1]).read_text())
+    print("\n".join(diff(prev, curr)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,66 @@ from repro.bench.experiments import (
 )
 
 
+def _micro_medians(repeats: int = 5) -> dict:
+    """Median seconds for the snapshot-cache micro roundtrip, cached vs not.
+
+    The same forward + LIFO-backward positioning walk the micro-benchmarks
+    time under pytest-benchmark, repeated ``repeats`` times inline so the
+    nightly JSON carries comparable medians without the pytest harness.
+    """
+    import statistics
+
+    from repro.dataset import load_sx_mathoverflow
+    from repro.device import Device, use_device
+    from repro.graph import GPMAGraph
+
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=12)
+
+    def roundtrip(graph) -> None:
+        for t in range(ds.num_timestamps):
+            graph.get_graph(t)
+            graph.forward_csr()
+        for t in range(ds.num_timestamps - 1, -1, -1):
+            graph.get_backward_graph(t)
+            graph.forward_csr()
+
+    out: dict = {}
+    with use_device(Device(name="nightly-micro")):
+        for label, kwargs in (
+            ("backward_walk_cached", {"csr_cache_size": ds.num_timestamps}),
+            ("backward_walk_uncached", {"enable_csr_cache": False}),
+        ):
+            graph = GPMAGraph(ds.dtdg, **kwargs)
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                roundtrip(graph)
+                times.append(time.perf_counter() - t0)
+            out[f"{label}_median_s"] = round(statistics.median(times), 6)
+    return out
+
+
+def _nightly_reuse_counters() -> dict:
+    """Snapshot/context reuse counters from one short DTDG training run."""
+    from repro.bench import run_dynamic_experiment
+    from repro.dataset import load_sx_mathoverflow
+
+    r = run_dynamic_experiment(
+        "gpma", load_sx_mathoverflow,
+        scale=0.02, feature_size=8, max_snapshots=12,
+        sequence_length=4, epochs=3, warmup=1,
+    )
+    return {
+        "csr_cache_hits": r.csr_cache_hits,
+        "csr_cache_misses": r.csr_cache_misses,
+        "ctx_cache_hits": r.ctx_cache_hits,
+        "ctx_cache_misses": r.ctx_cache_misses,
+        "noop_updates_skipped": r.noop_updates_skipped,
+        "csr_cache_hit_rate": round(r.csr_cache_hit_rate, 4),
+        "reuse_rate": round(r.reuse_rate, 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true", help="refresh EXPERIMENTS.md measured data")
@@ -93,7 +153,13 @@ def main(argv: list[str] | None = None) -> int:
             r.row()
             for r in (static_results + static_mem_results + dyn_time_results + dyn_mem_results)
         ]
-        args.json.write_text(json.dumps({"elapsed_s": elapsed, "rows": rows}, indent=2))
+        payload = {
+            "elapsed_s": elapsed,
+            "rows": rows,
+            "micro": _micro_medians(),
+            "reuse_counters": _nightly_reuse_counters(),
+        }
+        args.json.write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
 
     if args.write:

@@ -21,6 +21,7 @@ GPU required; see DESIGN.md for the substitution table):
 ``repro.dataset``           Table II dataset stand-ins + discretizer
 ``repro.baselines.pygt``    the PyG-Temporal baseline (edge-parallel)
 ``repro.train``             Algorithm 1 trainers, tasks, metrics
+``repro.resilience``        fault injection, chaos harness, resume plumbing
 ``repro.bench``             experiment runners for every table and figure
 ==========================  ==================================================
 
@@ -38,7 +39,20 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import baselines, bench, compiler, core, dataset, device, graph, nn, pma, tensor, train
+from repro import (
+    baselines,
+    bench,
+    compiler,
+    core,
+    dataset,
+    device,
+    graph,
+    nn,
+    pma,
+    resilience,
+    tensor,
+    train,
+)
 
 __all__ = [
     "__version__",
@@ -52,5 +66,6 @@ __all__ = [
     "dataset",
     "baselines",
     "train",
+    "resilience",
     "bench",
 ]

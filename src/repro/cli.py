@@ -10,6 +10,14 @@ Commands
 ``train --dataset HC --model tgcn --epochs 20``
     Train a model on a Table II dataset with Algorithm 1 and report loss,
     timing, and memory.  ``--system pygt`` runs the baseline instead.
+    ``--checkpoint runs/ck.npz`` checkpoints atomically at every sequence
+    boundary; adding ``--resume`` restores from the checkpoint and
+    continues to bitwise-identical final losses.
+``chaos --plan smoke``
+    Train a small DTDG workload under a named (or JSON) fault plan with
+    kill/resume through boundary checkpoints, and verify the resilience
+    contract: bitwise-identical losses, drained stacks, and the kernel
+    retry → interpreter-fallback ladder.  Non-zero exit on any violation.
 ``bench --experiment fig5``
     Run one of the paper's table/figure experiments and print it.
 ``trace --out traces/run.json``
@@ -130,6 +138,7 @@ def _write_trace_artifacts(
     dataset: str = "",
     command: str = "",
     results: dict | None = None,
+    resumed_from: str | None = None,
 ) -> None:
     """Write the four observability artifacts next to ``trace_path``."""
     from repro.obs import build_run_manifest, write_chrome_trace, write_jsonl, write_prometheus
@@ -141,6 +150,7 @@ def _write_trace_artifacts(
         device, tracer=tracer, graph=graph,
         run_name=tracer.name, command=command,
         system=system, dataset=dataset, results=results,
+        resumed_from=resumed_from,
     )
     manifest_path = manifest.write(base + ".manifest.json")
     prom = write_prometheus(device, base + ".metrics.prom", tracer)
@@ -167,6 +177,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
 
     trace_path = getattr(args, "trace", None)
+    checkpoint_path = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and checkpoint_path is None:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if checkpoint_path is not None and args.system == "pygt":
+        raise SystemExit("--checkpoint/--resume are STGraph-only; the pygt baseline has no resume path")
     tracer = Tracer(name=f"train:{args.dataset}:{args.model}") if trace_path else None
     device = Device(name="cli")
     with use_device(device), use_tracer(tracer):
@@ -189,7 +205,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
                     model, ds.build_graph(), lr=args.lr,
                     sequence_length=args.sequence_length,
                 )
-            losses = trainer.train(tr_x, tr_y, epochs=args.epochs, warmup=min(2, args.epochs - 1))
+            if checkpoint_path is not None:
+                losses = trainer.train(
+                    tr_x, tr_y, epochs=args.epochs, warmup=min(2, args.epochs - 1),
+                    checkpoint_path=checkpoint_path, resume=resume,
+                )
+            else:
+                losses = trainer.train(tr_x, tr_y, epochs=args.epochs, warmup=min(2, args.epochs - 1))
         elif args.dataset in DYNAMIC_DATASETS:
             if args.system == "pygt" or args.model != "tgcn":
                 raise SystemExit("dynamic CLI training supports --system stgraph --model tgcn")
@@ -204,10 +226,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 sequence_length=args.sequence_length,
                 task="link_prediction", link_samples=samples,
             )
-            losses = trainer.train(ds.features, epochs=args.epochs, warmup=min(2, args.epochs - 1))
+            if checkpoint_path is not None:
+                losses = trainer.train(
+                    ds.features, epochs=args.epochs, warmup=min(2, args.epochs - 1),
+                    checkpoint_path=checkpoint_path, resume=resume,
+                )
+            else:
+                losses = trainer.train(ds.features, epochs=args.epochs, warmup=min(2, args.epochs - 1))
         else:
             raise SystemExit(f"unknown dataset {args.dataset!r}; see `info`")
 
+        resumed_from = getattr(trainer, "resumed_from", None)
+        if resumed_from:
+            print(f"resumed from: {resumed_from}")
         print(f"loss: {losses[0]:.4f} -> {losses[-1]:.4f} over {args.epochs} epochs")
         print(f"per-epoch time: {trainer.mean_epoch_time * 1e3:.1f} ms")
         print(f"peak device memory: {device.tracker.peak_bytes / 1e6:.2f} MB")
@@ -227,8 +258,56 @@ def _cmd_train(args: argparse.Namespace) -> int:
                     "final_loss": float(losses[-1]),
                     "per_epoch_seconds": trainer.mean_epoch_time,
                 },
+                resumed_from=resumed_from,
             )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.tracer import Tracer
+    from repro.resilience import FaultPlan, NAMED_PLANS, named_plan, run_chaos
+
+    if args.plan in NAMED_PLANS:
+        plan = named_plan(args.plan)
+    elif pathlib.Path(args.plan).is_file():
+        plan = FaultPlan.from_json(args.plan)
+    else:
+        raise SystemExit(
+            f"unknown plan {args.plan!r}: expected one of {sorted(NAMED_PLANS)} "
+            f"or a path to a fault-plan JSON file"
+        )
+
+    trace_path = getattr(args, "trace", None)
+    tracer = Tracer(name=f"chaos:{plan.name}") if trace_path else None
+    report = run_chaos(
+        plan,
+        dataset=args.dataset,
+        scale=args.scale,
+        epochs=args.epochs,
+        sequence_length=args.sequence_length,
+        max_snapshots=args.timestamps,
+        seed=args.seed,
+        workdir=args.workdir,
+        tracer=tracer,
+    )
+    print(report.render())
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+        print(f"report: {out}")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        base = _trace_base(trace_path)
+        chrome = write_chrome_trace(tracer, base + ".json")
+        manifest_path = report.manifest.write(base + ".manifest.json")
+        print(f"chrome trace:  {chrome}")
+        print(f"run manifest:  {manifest_path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -397,6 +476,26 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--trace", metavar="OUT.json", default=None,
                          help="trace the run; writes OUT.json (Chrome trace), "
                               "OUT.events.jsonl, OUT.manifest.json, OUT.metrics.prom")
+    p_train.add_argument("--checkpoint", metavar="PATH.npz", default=None,
+                         help="write an atomic training checkpoint at every sequence boundary")
+    p_train.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint if it exists (bitwise-identical losses)")
+
+    p_chaos = sub.add_parser("chaos", help="fault-injected train/kill/resume run with verification")
+    p_chaos.add_argument("--plan", default="smoke",
+                         help="named plan (smoke, kill-matrix) or path to a fault-plan JSON file")
+    p_chaos.add_argument("--dataset", default="sx-mathoverflow")
+    p_chaos.add_argument("--epochs", type=int, default=3)
+    p_chaos.add_argument("--sequence-length", type=int, default=3)
+    p_chaos.add_argument("--timestamps", type=int, default=6)
+    p_chaos.add_argument("--scale", type=float, default=0.02)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--workdir", default=None,
+                         help="directory for the chaos checkpoint (default: a fresh temp dir)")
+    p_chaos.add_argument("--json", metavar="OUT.json", default=None,
+                         help="write the full ChaosReport (manifest inlined) as JSON")
+    p_chaos.add_argument("--trace", metavar="OUT.json", default=None,
+                         help="trace the chaos run; writes the Chrome trace and run manifest")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("--experiment", choices=_EXPERIMENTS, required=True)
@@ -430,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "inspect": _cmd_inspect,
         "train": _cmd_train,
+        "chaos": _cmd_chaos,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "lint": _cmd_lint,

@@ -79,6 +79,12 @@ class TemporalExecutor:
         self._ctx_cache: OrderedDict[tuple, GraphContext] = OrderedDict()
         self.ctx_cache_hits = 0
         self.ctx_cache_misses = 0
+        # Degradation-ladder accounting (repro.core.module increments these):
+        # kernel launches retried after an injected fault, and aggregations
+        # that fell back to the interpreter engine.
+        self.kernel_retries = 0
+        self.engine_fallbacks = 0
+        self.sequence_aborts = 0
 
     @property
     def _ctx_cache_enabled(self) -> bool:
@@ -242,6 +248,29 @@ class TemporalExecutor:
         self._bwd_ctx = None
         self._bwd_t = None
 
+    def abort_sequence(self) -> None:
+        """Exception-safe unwinding after a mid-sequence failure.
+
+        A fault escaping the sequence body (allocator OOM, a kernel fault
+        that exhausted the degradation ladder, a simulated kill) leaves
+        partially pushed State/Graph Stacks and a context positioned at a
+        dead timestamp.  This drains both stacks and drops the positioning
+        so :meth:`check_drained` passes and the next sequence starts clean;
+        the content-addressed caches (context LRU here, CSR LRU on the
+        graph) stay valid and are kept.
+        """
+        dropped_state = len(self.state_stack)
+        dropped_graph = len(self.graph_stack)
+        self.reset()
+        self.sequence_aborts += 1
+        current_device().profiler.count("sequence_aborts")
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "executor.abort_sequence", "fault",
+                dropped_state=dropped_state, dropped_graph=dropped_graph,
+            )
+
     def check_drained(self) -> None:
         """Assert both stacks emptied — i.e. forward/backward were balanced."""
         if not self.state_stack.is_empty:
@@ -258,4 +287,7 @@ class TemporalExecutor:
             "graph_stack_peak_depth": self.graph_stack.peak_depth,
             "ctx_cache_hits": self.ctx_cache_hits,
             "ctx_cache_misses": self.ctx_cache_misses,
+            "kernel_retries": self.kernel_retries,
+            "engine_fallbacks": self.engine_fallbacks,
+            "sequence_aborts": self.sequence_aborts,
         }

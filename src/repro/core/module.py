@@ -25,14 +25,92 @@ import numpy as np
 
 from repro.compiler.program import VertexProgram, compile_vertex_program
 from repro.compiler.runtime import GraphContext
-from repro.core.engine import ExecutionEngine
+from repro.core.engine import ExecutionEngine, get_engine
 from repro.core.executor import TemporalExecutor
 from repro.device import current_device
 from repro.obs.tracer import current_tracer
+from repro.resilience.faults import InjectedKernelFault
 from repro.tensor import nn
 from repro.tensor.tensor import Tensor, is_grad_enabled
 
 __all__ = ["VertexCentricLayer", "graph_aggregate"]
+
+
+def _differential_check(
+    program: VertexProgram,
+    engine: ExecutionEngine | None,
+    call,
+    result,
+    direction: str,
+) -> None:
+    """Compare a retried kernel execution against the interpreter oracle.
+
+    The interpreter runs the same op order over the same primitives, so any
+    difference is bitwise-detectable and means the retried launch produced
+    corrupt output rather than a clean recovery.
+    """
+    resolved = engine if engine is not None else program.engine
+    if resolved.name == "interpreter":
+        return  # the result *is* the oracle
+    oracle = call(get_engine("interpreter"))
+    if direction == "fwd":
+        ok = np.array_equal(np.asarray(result[0]), np.asarray(oracle[0]))
+    else:
+        ok = set(result) == set(oracle) and all(
+            np.array_equal(np.asarray(result[k]), np.asarray(oracle[k])) for k in result
+        )
+    if not ok:
+        raise RuntimeError(
+            f"differential check failed after kernel retry: {program.name} "
+            f"({direction}) disagrees with the interpreter oracle"
+        )
+
+
+def _resilient_run(
+    executor: TemporalExecutor,
+    program: VertexProgram,
+    engine: ExecutionEngine | None,
+    call,
+    direction: str,
+    timestamp: int,
+):
+    """Run ``call(engine)`` under the kernel degradation ladder.
+
+    An :class:`~repro.resilience.faults.InjectedKernelFault` triggers
+    exactly one retry; if the retry faults too, the aggregation falls back
+    to the interpreter engine (bitwise-identical by construction, so
+    training continues unperturbed).  A retry that *succeeds* is
+    differentially checked against the interpreter oracle before its result
+    is trusted.  Returns ``(result, engine_used)`` so the tape can pin
+    backward to the engine forward actually ran on.
+    """
+    try:
+        return call(engine), engine
+    except InjectedKernelFault:
+        device = current_device()
+        tracer = current_tracer()
+        executor.kernel_retries += 1
+        device.profiler.count("kernel_retries")
+        if tracer.enabled:
+            tracer.instant(
+                "fault.retry", "fault",
+                program=program.name, dir=direction, t=timestamp,
+            )
+        try:
+            result = call(engine)
+        except InjectedKernelFault:
+            fallback = get_engine("interpreter")
+            executor.engine_fallbacks += 1
+            device.profiler.count("engine_fallbacks")
+            if tracer.enabled:
+                tracer.instant(
+                    "fault.engine_fallback", "fault",
+                    program=program.name, dir=direction, t=timestamp,
+                    engine=fallback.name,
+                )
+            return call(fallback), fallback
+        _differential_check(program, engine, call, result, direction)
+        return result, engine
 
 
 class _GraphAggregationTape:
@@ -67,9 +145,16 @@ class _GraphAggregationTape:
         device = current_device()
         ctx = self.executor.backward_context(self.timestamp)
         saved = self.executor.pop_state(self.token)
+
+        def run_backward(engine: ExecutionEngine | None):
+            return self.program.backward(ctx, grad, saved, engine=engine)
+
         with current_tracer().span("backward/" + self.program.name, "gnn", t=self.timestamp):
             with device.profiler.phase("gnn"):
-                grads = self.program.backward(ctx, grad, saved, engine=self.engine)
+                grads, _ = _resilient_run(
+                    self.executor, self.program, self.engine, run_backward,
+                    direction="bwd", timestamp=self.timestamp,
+                )
         return tuple(grads.get(name) for name, _kind in self.tensor_slots)
 
 
@@ -109,9 +194,15 @@ def graph_aggregate(
         else:
             edge_arrays[name] = np.asarray(value)
 
+    def run_forward(eng: ExecutionEngine | None):
+        return program.forward(ctx, node_arrays, edge_arrays or None, engine=eng)
+
     with current_tracer().span("forward/" + program.name, "gnn", t=timestamp):
         with device.profiler.phase("gnn"):
-            out_np, saved = program.forward(ctx, node_arrays, edge_arrays or None, engine=engine)
+            (out_np, saved), engine = _resilient_run(
+                executor, program, engine, run_forward,
+                direction="fwd", timestamp=timestamp,
+            )
     out = Tensor(out_np)
 
     if is_grad_enabled() and any(t.requires_grad or t._ctx is not None for t in tensor_inputs):

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.resilience.faults import current_injector
+
 __all__ = ["AllocationRecord", "MemoryTracker", "DeviceAllocator"]
 
 
@@ -208,27 +210,41 @@ class DeviceAllocator:
     """Thin allocation facade over a :class:`MemoryTracker`.
 
     Framework code calls :meth:`empty`/:meth:`zeros`/:meth:`upload` instead
-    of raw ``np.*`` constructors so every device-resident array is tracked.
+    of raw ``np.*`` constructors so every device-resident array is tracked —
+    which also makes every allocation a potential firing point for a planned
+    ``"oom"`` fault (:class:`~repro.resilience.faults.InjectedOOM`) when a
+    fault plan is armed via ``use_fault_plan``.
     """
 
     tracker: MemoryTracker = field(default_factory=MemoryTracker)
 
+    @staticmethod
+    def _maybe_oom() -> None:
+        injector = current_injector()
+        if injector.enabled:
+            injector.fire("oom")
+
     def empty(self, shape: tuple[int, ...] | int, dtype: np.dtype | type = np.float32, tag: str = "") -> np.ndarray:
         """Uninitialized tracked array."""
+        self._maybe_oom()
         return self.tracker.track(np.empty(shape, dtype=dtype), tag)
 
     def zeros(self, shape: tuple[int, ...] | int, dtype: np.dtype | type = np.float32, tag: str = "") -> np.ndarray:
         """Zero-filled tracked array."""
+        self._maybe_oom()
         return self.tracker.track(np.zeros(shape, dtype=dtype), tag)
 
     def full(self, shape: tuple[int, ...] | int, fill: float, dtype: np.dtype | type = np.float32, tag: str = "") -> np.ndarray:
         """Fill-value tracked array."""
+        self._maybe_oom()
         return self.tracker.track(np.full(shape, fill, dtype=dtype), tag)
 
     def upload(self, host_array: np.ndarray, tag: str = "") -> np.ndarray:
         """Copy a host array to the "device" (always an independent copy)."""
+        self._maybe_oom()
         return self.tracker.track(np.array(host_array, order="C", copy=True), tag)
 
     def adopt(self, array: np.ndarray, tag: str = "") -> np.ndarray:
         """Track an array produced by a NumPy op without copying it."""
+        self._maybe_oom()
         return self.tracker.track(array, tag)

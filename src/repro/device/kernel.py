@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.tracer import current_tracer
+from repro.resilience.faults import current_injector
 
 __all__ = ["CompiledKernel", "KernelLauncher"]
 
@@ -126,7 +127,15 @@ class KernelLauncher:
         Under an active tracer every launch is a span named by the kernel's
         entry point — which embeds the plan id (``plan_<hash>_fwd`` etc.),
         so traces attribute kernel time to specific compiled plans.
+
+        An armed fault injector (``use_fault_plan``) can fail the launch
+        here with :class:`~repro.resilience.faults.InjectedKernelFault`; the
+        aggregation layer's degradation ladder retries once and then falls
+        back to the interpreter engine (see ``repro.core.module``).
         """
+        injector = current_injector()
+        if injector.enabled:
+            injector.fire("kernel")
         start = time.perf_counter()
         try:
             with current_tracer().span(kernel.name, "gnn"):

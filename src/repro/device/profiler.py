@@ -32,14 +32,21 @@ __all__ = ["PHASES", "COUNTERS", "PhaseTimer", "Profiler"]
 #: preprocessing.  User code may time arbitrary extra phases.
 PHASES = ("compile", "gnn", "graph_update", "preprocess")
 
-#: The event counters the framework itself reports (snapshot/context reuse).
-#: User code may count arbitrary extra events.
+#: The event counters the framework itself reports: snapshot/context reuse,
+#: plus the resilience ladder (injected faults, kernel retries, interpreter
+#: fallbacks, cache-corruption rebuilds, aborted sequences).  User code may
+#: count arbitrary extra events.
 COUNTERS = (
     "csr_cache_hits",
     "csr_cache_misses",
     "noop_updates_skipped",
     "ctx_cache_hits",
     "ctx_cache_misses",
+    "faults_injected",
+    "kernel_retries",
+    "engine_fallbacks",
+    "cache_fault_rebuilds",
+    "sequence_aborts",
 )
 
 

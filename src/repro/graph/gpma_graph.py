@@ -39,6 +39,7 @@ from repro.graph.dtdg import DTDG
 from repro.graph.labels import decode_edges, encode_edges
 from repro.obs.tracer import current_tracer
 from repro.pma import PackedMemoryArray, SPACE_KEY
+from repro.resilience.faults import current_injector
 
 __all__ = ["GPMAGraph"]
 
@@ -112,6 +113,8 @@ class GPMAGraph(STGraphBase):
         # Counters for the ablation benchmarks.
         self.update_batches_applied = 0
         self.cache_restores = 0
+        # Planned cache-corruption faults that forced Algorithm-3 rebuilds.
+        self.cache_fault_rebuilds = 0
 
     # ------------------------------------------------------------------
     # Algorithm 2: temporal positioning
@@ -180,6 +183,41 @@ class GPMAGraph(STGraphBase):
         which lets a no-op boundary reuse the previous timestamp's context.
         """
         return (None, self.snapshot_version)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume: snapshot-version cursor
+    # ------------------------------------------------------------------
+    def version_cursor(self) -> dict:
+        """JSON-ready snapshot-version bookkeeping for checkpoint/resume.
+
+        Captures the temporal position plus the stable per-timestamp version
+        assignments, so a resumed run (in a fresh process, with a freshly
+        built graph) reproduces the same ``(timestamp, version)`` cache keys
+        the killed run would have used.  Content is always rebuilt from the
+        DTDG itself — the cursor restores bookkeeping, not edges.
+        """
+        return {
+            "curr_time": int(self.curr_time),
+            "snapshot_version": int(self.snapshot_version),
+            "version_counter": int(self._version_counter),
+            "ts_versions": {str(t): int(v) for t, v in self._ts_versions.items()},
+        }
+
+    def restore_version_cursor(self, cursor: dict) -> None:
+        """Reposition at the cursor's timestamp and restore its version map.
+
+        The PMA replays update batches to reach ``curr_time`` (allocating
+        throwaway versions along the way), then the recorded assignments
+        overwrite the bookkeeping.  Both caches are dropped: their keys were
+        minted under the throwaway versions.
+        """
+        self.get_graph(int(cursor["curr_time"]))
+        self._ts_versions = {int(t): int(v) for t, v in cursor["ts_versions"].items()}
+        self._version_counter = int(cursor["version_counter"])
+        self.snapshot_version = int(cursor["snapshot_version"])
+        self._cache = None
+        self._csr_cache.clear()
+        self._dirty = True
 
     def _advance(self, t: int) -> None:
         if not (0 <= t < self.dtdg.num_timestamps):
@@ -310,7 +348,21 @@ class GPMAGraph(STGraphBase):
         served without re-running relabelling + Algorithm 3 (either the
         current build is still valid or the LRU holds it), a miss when a
         rebuild was unavoidable.
+
+        A planned ``"cache"`` fault (``use_fault_plan``) marks every cached
+        artifact — the current build, the CSR reuse LRU, and the PMA
+        snapshot cache — as corrupted; the graph then degrades to the
+        Algorithm-3 rebuild path, which derives everything from the PMA's
+        authoritative storage.  Counted as ``cache_fault_rebuilds``.
         """
+        injector = current_injector()
+        if injector.enabled and injector.take("cache") is not None:
+            self._csr_cache.clear()
+            self._cache = None
+            self._fwd = self._bwd = None
+            self._in_deg = self._out_deg = None
+            self._dirty = True
+            self._count("cache_fault_rebuilds")
         if not self._dirty and self._fwd is not None:
             if self.enable_csr_cache and not self._reuse_counted:
                 self._reuse_counted = True

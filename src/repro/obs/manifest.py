@@ -73,6 +73,13 @@ class RunManifest:
     current_memory_bytes: int = 0
     peak_memory_by_tag: dict[str, int] = field(default_factory=dict)
     kernel_launches: int = 0
+    #: resilience record: planned faults that fired (by kind), kernel-launch
+    #: retries, interpreter-engine fallbacks, and the checkpoint this run
+    #: resumed from (None for a fresh run) — see docs/RESILIENCE.md
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    engine_fallbacks: int = 0
+    resumed_from: str | None = None
     #: free-form per-run results (losses, epoch times, figure params)
     results: dict[str, Any] = field(default_factory=dict)
 
@@ -108,6 +115,7 @@ def build_run_manifest(
     system: str = "",
     dataset: str = "",
     results: dict[str, Any] | None = None,
+    resumed_from: str | None = None,
 ) -> RunManifest:
     """Collect a :class:`RunManifest` from the live device/tracer/graph.
 
@@ -117,6 +125,7 @@ def build_run_manifest(
     ``docs/COMPILER.md`` §7 cache keys.
     """
     from repro.compiler.plan import plan_cache
+    from repro.resilience.faults import current_injector
 
     cache = plan_cache()
     lint_warnings: dict[str, int] = {}
@@ -141,6 +150,10 @@ def build_run_manifest(
         current_memory_bytes=device.tracker.current_bytes,
         peak_memory_by_tag={t or "untagged": b for t, b in sorted(device.tracker.peak_bytes_by_tag().items())},
         kernel_launches=device.launcher.launch_count,
+        faults_injected=current_injector().faults_injected(),
+        retries=device.profiler.counter("kernel_retries"),
+        engine_fallbacks=device.profiler.counter("engine_fallbacks"),
+        resumed_from=resumed_from,
         results=dict(results or {}),
     )
     if tracer is not None:

@@ -1,0 +1,52 @@
+"""Fault tolerance for long training runs.
+
+Three pieces (see ``docs/RESILIENCE.md``):
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  (:func:`use_fault_plan` mirrors the tracer/device context stacks);
+* :mod:`repro.resilience.plans` — named fault plans (``smoke``,
+  ``kill-matrix``) that CI and ``repro chaos`` run by name;
+* :mod:`repro.resilience.chaos` — the harness that trains under a plan,
+  kills/resumes through boundary checkpoints, and verifies bitwise-identical
+  losses, drained stacks, and the kernel degradation ladder.
+"""
+
+from repro.resilience.chaos import ChaosReport, run_chaos
+from repro.resilience.faults import (
+    BOUNDARY,
+    FAULT_KINDS,
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSite,
+    InjectedCacheCorruption,
+    InjectedFault,
+    InjectedKernelFault,
+    InjectedOOM,
+    NullInjector,
+    SimulatedKill,
+    current_injector,
+    use_fault_plan,
+)
+from repro.resilience.plans import NAMED_PLANS, named_plan
+
+__all__ = [
+    "BOUNDARY",
+    "FAULT_KINDS",
+    "NULL_INJECTOR",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "InjectedCacheCorruption",
+    "InjectedFault",
+    "InjectedKernelFault",
+    "InjectedOOM",
+    "NullInjector",
+    "SimulatedKill",
+    "current_injector",
+    "use_fault_plan",
+    "NAMED_PLANS",
+    "named_plan",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -1,0 +1,62 @@
+"""Named fault plans: the chaos schedules CI and the CLI run by name.
+
+``repro chaos --plan smoke`` resolves here.  Plans are expressed against
+the chaos harness's default workload (see :mod:`repro.resilience.chaos`:
+3 epochs over 6 snapshots in sequences of 3, so sequences 0 and 1 per
+epoch) — a plan file given by path can target any schedule.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import BOUNDARY, FaultPlan, FaultSite
+
+__all__ = ["NAMED_PLANS", "named_plan", "smoke_plan", "kill_matrix_plan"]
+
+
+def smoke_plan() -> FaultPlan:
+    """The CI gating plan: one kernel fault + one mid-sequence abort.
+
+    * epoch 0, sequence 1, timestamp 4: the kernel launch fails **twice**
+      (``times=2``), so the executor's ladder burns its single retry and
+      falls back to the interpreter engine;
+    * epoch 1, sequence 0, timestamp 1: the process is killed mid-sequence,
+      discarding the in-flight stacks; the run resumes from the epoch-0
+      boundary checkpoint.
+
+    The run must still finish with final losses bitwise identical to an
+    uninterrupted run, with both stacks drained after the abort.
+    """
+    return FaultPlan(
+        name="smoke",
+        sites=[
+            FaultSite(kind="kernel", epoch=0, sequence=1, timestamp=4, times=2),
+            FaultSite(kind="kill", epoch=1, sequence=0, timestamp=1),
+        ],
+    )
+
+
+def kill_matrix_plan() -> FaultPlan:
+    """Kills at three distinct boundaries — the determinism-gate schedule."""
+    return FaultPlan(
+        name="kill-matrix",
+        sites=[
+            FaultSite(kind="kill", epoch=0, sequence=0, timestamp=BOUNDARY),
+            FaultSite(kind="kill", epoch=1, sequence=1, timestamp=BOUNDARY),
+            FaultSite(kind="kill", epoch=2, sequence=0, timestamp=BOUNDARY),
+        ],
+    )
+
+
+#: name -> zero-argument plan factory
+NAMED_PLANS = {
+    "smoke": smoke_plan,
+    "kill-matrix": kill_matrix_plan,
+}
+
+
+def named_plan(name: str) -> FaultPlan:
+    """Resolve a plan by registry name (raises ``KeyError`` with choices)."""
+    try:
+        return NAMED_PLANS[name]()
+    except KeyError:
+        raise KeyError(f"unknown fault plan {name!r}; available: {sorted(NAMED_PLANS)}") from None

@@ -8,7 +8,17 @@ import numpy as np
 
 from repro.tensor.tensor import Tensor
 
-__all__ = ["set_seed", "glorot_uniform", "kaiming_uniform", "uniform", "zeros", "ones", "normal"]
+__all__ = [
+    "set_seed",
+    "get_rng_state",
+    "set_rng_state",
+    "glorot_uniform",
+    "kaiming_uniform",
+    "uniform",
+    "zeros",
+    "ones",
+    "normal",
+]
 
 _RNG = np.random.default_rng(0)
 
@@ -18,6 +28,20 @@ def set_seed(seed: int) -> None:
     between STGraph and the baseline: both models draw the same weights)."""
     global _RNG
     _RNG = np.random.default_rng(seed)
+
+
+def get_rng_state() -> dict:
+    """The global RNG's bit-generator state (JSON-serializable).
+
+    Captured into training checkpoints so a resumed run continues the exact
+    random stream the killed run would have drawn from.
+    """
+    return _RNG.bit_generator.state
+
+
+def set_rng_state(state: dict) -> None:
+    """Restore a state captured by :func:`get_rng_state`."""
+    _RNG.bit_generator.state = state
 
 
 def uniform(shape: tuple[int, ...], lo: float = -0.1, hi: float = 0.1, requires_grad: bool = True) -> Tensor:

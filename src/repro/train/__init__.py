@@ -10,7 +10,13 @@ from repro.train.tasks import LinkSamples, make_link_prediction_samples
 from repro.train.trainer import BaselineTrainer, STGraphTrainer
 from repro.train.metrics import accuracy_from_logits, mae, rmse, roc_auc
 from repro.train.utils import EarlyStopping, evaluate_regression, temporal_train_test_split
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    CheckpointIntegrityError,
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 
 __all__ = [
     "EarlyStopping",
@@ -18,6 +24,9 @@ __all__ = [
     "temporal_train_test_split",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "CheckpointIntegrityError",
     "STGraphTrainer",
     "BaselineTrainer",
     "STGraphNodeRegressor",

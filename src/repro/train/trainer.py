@@ -13,18 +13,21 @@ Both report per-epoch wall time so benches can reuse the loop directly.
 
 from __future__ import annotations
 
+import pathlib
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.executor import TemporalExecutor
 from repro.graph.base import STGraphBase
 from repro.obs.tracer import current_tracer
+from repro.resilience.faults import BOUNDARY, current_injector
 from repro.tensor import functional as F
-from repro.tensor import optim
+from repro.tensor import init, optim
 from repro.tensor.nn import Module
 from repro.tensor.tensor import Tensor
+from repro.train.checkpoint import load_training_checkpoint, save_training_checkpoint
 from repro.train.tasks import LinkSamples
 
 __all__ = ["STGraphTrainer", "BaselineTrainer"]
@@ -67,6 +70,9 @@ class STGraphTrainer:
         self.link_samples = link_samples
         self.executor = TemporalExecutor(graph)
         self.epoch_times: list[float] = []
+        #: checkpoint path this run resumed from (None for a fresh run);
+        #: surfaced in the RunManifest's ``resumed_from`` field.
+        self.resumed_from: str | None = None
 
     def _loss_at(self, t: int, pred: Tensor, targets) -> Tensor:
         if self.task == "regression":
@@ -84,36 +90,173 @@ class STGraphTrainer:
         per-layer ``backward/<layer>`` and ``graph_update`` spans of the
         LIFO walk) and ``optimizer`` spans.
         """
+        return self._train_epoch_impl(features, targets, epoch_index=len(self.epoch_times))
+
+    def _train_epoch_impl(
+        self,
+        features: Sequence[np.ndarray],
+        targets: Sequence[np.ndarray] | None,
+        epoch_index: int,
+        start_sequence: int = 0,
+        epoch_loss: float = 0.0,
+        boundary_hook: Callable[[int, int, float], None] | None = None,
+    ) -> float:
+        """Algorithm 1 with resume/fault plumbing.
+
+        ``start_sequence``/``epoch_loss`` let a resumed run re-enter an epoch
+        mid-way; ``boundary_hook(epoch, sequence, loss_so_far)`` fires at
+        every completed sequence boundary (the checkpoint write point).  The
+        active fault injector's cursor is advanced alongside the loop and
+        planned ``"kill"`` sites fire at timestamp starts and — via
+        ``timestamp=BOUNDARY`` — right after the boundary checkpoint.
+
+        Any exception escaping a sequence (including :class:`SimulatedKill`,
+        a ``BaseException``) triggers :meth:`TemporalExecutor.abort_sequence`
+        before propagating, so the State/Graph Stacks are drained and
+        ``check_drained()`` holds even after an aborted sequence.
+        """
         tracer = current_tracer()
+        injector = current_injector()
         total_timestamps = len(features)
         seq_len = self.sequence_length or total_timestamps
         start = time.perf_counter()
-        epoch_loss = 0.0
-        with tracer.span("epoch", "train", epoch=len(self.epoch_times)):
-            for seq in _sequences(total_timestamps, seq_len):
+        injector.at_epoch(epoch_index)
+        with tracer.span("epoch", "train", epoch=epoch_index):
+            for seq_index, seq in enumerate(_sequences(total_timestamps, seq_len)):
+                if seq_index < start_sequence:
+                    continue
+                injector.at_sequence(seq_index)
                 with tracer.span("sequence", "train", start=seq.start, stop=seq.stop):
-                    self.optimizer.zero_grad()
-                    state = None
-                    acc = _LossAccumulator()
-                    for t in seq:  # forward over the sequence (Alg. 1 lines 8-16)
-                        with tracer.span(f"timestamp[{t}]", "train", t=t):
-                            self.executor.begin_timestamp(t)
-                            pred, state = self.model.step(self.executor, Tensor(features[t]), state)
-                            acc.add(self._loss_at(t, pred, targets))
-                    self.executor.end_sequence_forward()
-                    with tracer.span("backward", "train", start=seq.start, stop=seq.stop):
-                        acc.total.backward()  # LIFO backward (Alg. 1 lines 18-25)
-                    self.executor.check_drained()
-                    with tracer.span("optimizer", "optimizer"):
-                        self.optimizer.step()
-                    epoch_loss += acc.total.item()
+                    try:
+                        self.optimizer.zero_grad()
+                        state = None
+                        acc = _LossAccumulator()
+                        for t in seq:  # forward over the sequence (Alg. 1 lines 8-16)
+                            injector.at_timestamp(t)
+                            injector.fire("kill")
+                            with tracer.span(f"timestamp[{t}]", "train", t=t):
+                                self.executor.begin_timestamp(t)
+                                pred, state = self.model.step(self.executor, Tensor(features[t]), state)
+                                acc.add(self._loss_at(t, pred, targets))
+                        self.executor.end_sequence_forward()
+                        with tracer.span("backward", "train", start=seq.start, stop=seq.stop):
+                            acc.total.backward()  # LIFO backward (Alg. 1 lines 18-25)
+                        self.executor.check_drained()
+                        with tracer.span("optimizer", "optimizer"):
+                            self.optimizer.step()
+                        epoch_loss += acc.total.item()
+                    except BaseException:
+                        self.executor.abort_sequence()
+                        raise
+                # Sequence boundary: checkpoint first, then any planned
+                # boundary kill — so a boundary kill always finds the state
+                # it "died" after already durable on disk.
+                injector.at_timestamp(BOUNDARY)
+                if boundary_hook is not None:
+                    boundary_hook(epoch_index, seq_index, epoch_loss)
+                injector.fire("kill")
         self.epoch_times.append(time.perf_counter() - start)
         return epoch_loss
 
-    def train(self, features, targets=None, epochs: int = 10, warmup: int = 0) -> list[float]:
+    def train(
+        self,
+        features,
+        targets=None,
+        epochs: int = 10,
+        warmup: int = 0,
+        *,
+        checkpoint_path: str | pathlib.Path | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> list[float]:
         """Run ``epochs`` epochs; the first ``warmup`` epoch times are
-        dropped from :attr:`epoch_times` (GPU-warm-up convention, §VII)."""
-        losses = [self.train_epoch(features, targets) for _ in range(epochs)]
+        dropped from :attr:`epoch_times` (GPU-warm-up convention, §VII).
+
+        With ``checkpoint_path`` the run writes an atomic training
+        checkpoint every ``checkpoint_every``-th sequence boundary (always
+        at epoch boundaries): model params, optimizer state, initializer RNG
+        state, the graph's snapshot-version cursor, the compiled plan ids,
+        and the completed/partial losses.  ``resume=True`` restores all of
+        that and re-enters the schedule exactly where the checkpoint was
+        taken, so a killed run finishes with bitwise-identical final losses
+        (training itself draws no randomness and every loss float
+        round-trips exactly through the checkpoint's JSON meta).
+        """
+        self.resumed_from = None
+        if checkpoint_path is None:
+            if resume:
+                raise ValueError("resume=True requires checkpoint_path")
+            losses = [self.train_epoch(features, targets) for _ in range(epochs)]
+            if warmup:
+                self.epoch_times = self.epoch_times[warmup:]
+            return losses
+
+        from repro.compiler.plan import plan_cache
+
+        path = pathlib.Path(checkpoint_path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        total_timestamps = len(features)
+        seq_len = self.sequence_length or total_timestamps
+        n_seq = len(_sequences(total_timestamps, seq_len))
+        start_epoch = 0
+        start_sequence = 0
+        partial_loss = 0.0
+        losses: list[float] = []
+        if resume and path.exists():
+            state = load_training_checkpoint(path, self.model, self.optimizer)
+            if int(state["epochs_total"]) != int(epochs):
+                raise ValueError(
+                    f"checkpoint was taken for a {state['epochs_total']}-epoch "
+                    f"run, cannot resume into {epochs} epochs"
+                )
+            cached = {p.plan_id for p in plan_cache().plans()}
+            missing = [pid for pid in state.get("plan_ids", []) if pid not in cached]
+            if missing:
+                raise ValueError(
+                    f"checkpoint plans missing from this process's plan cache: {missing}"
+                )
+            init.set_rng_state(state["rng_state"])
+            cursor = state.get("graph_cursor")
+            restore = getattr(self.graph, "restore_version_cursor", None)
+            if cursor is not None and restore is not None:
+                restore(cursor)
+            start_epoch = int(state["epoch"])
+            start_sequence = int(state["sequence"])
+            partial_loss = float(state["epoch_loss"])
+            losses = [float(x) for x in state["losses"]]
+            self.resumed_from = str(path)
+
+        cursor_fn = getattr(self.graph, "version_cursor", None)
+
+        def boundary_hook(epoch: int, sequence: int, loss_so_far: float) -> None:
+            last_in_epoch = sequence + 1 >= n_seq
+            if not last_in_epoch and (sequence + 1) % max(1, checkpoint_every):
+                return
+            next_epoch, next_sequence = (epoch + 1, 0) if last_in_epoch else (epoch, sequence + 1)
+            save_training_checkpoint(
+                path, self.model, self.optimizer,
+                {
+                    "epoch": next_epoch,
+                    "sequence": next_sequence,
+                    "epochs_total": int(epochs),
+                    "losses": losses + [loss_so_far] if last_in_epoch else list(losses),
+                    "epoch_loss": 0.0 if last_in_epoch else loss_so_far,
+                    "rng_state": init.get_rng_state(),
+                    "graph_cursor": cursor_fn() if cursor_fn is not None else None,
+                    "plan_ids": sorted(p.plan_id for p in plan_cache().plans()),
+                },
+            )
+
+        for epoch in range(start_epoch, epochs):
+            loss = self._train_epoch_impl(
+                features, targets,
+                epoch_index=epoch,
+                start_sequence=start_sequence if epoch == start_epoch else 0,
+                epoch_loss=partial_loss if epoch == start_epoch else 0.0,
+                boundary_hook=boundary_hook,
+            )
+            losses.append(loss)
         if warmup:
             self.epoch_times = self.epoch_times[warmup:]
         return losses

@@ -9,10 +9,13 @@ from repro.dataset import load_hungary_chickenpox
 from repro.tensor import functional as F, init, nn, optim
 from repro.tensor.tensor import Tensor
 from repro.train import (
+    CheckpointIntegrityError,
     STGraphNodeRegressor,
     STGraphTrainer,
     load_checkpoint,
+    load_training_checkpoint,
     save_checkpoint,
+    save_training_checkpoint,
 )
 
 
@@ -98,6 +101,79 @@ def test_architecture_mismatch_fails(tmp_path):
     save_checkpoint(path, a)
     with pytest.raises((KeyError, ValueError)):
         load_checkpoint(path, nn.Linear(3, 5))
+
+
+def test_integrity_hash_mismatch_rejected(tmp_path):
+    """A tampered archive (bit rot, torn copy, hand edit) must not load."""
+    init.set_seed(0)
+    path = save_checkpoint(tmp_path / "c.npz", nn.Linear(3, 3))
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name].copy() for name in data.files}
+    victim = next(n for n in arrays if n.startswith("param/"))
+    arrays[victim] = arrays[victim] + 1.0  # flip content, keep recorded hash
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    target = nn.Linear(3, 3)
+    before = target.weight.data.copy()
+    with pytest.raises(CheckpointIntegrityError, match="does not match"):
+        load_checkpoint(path, target)
+    # The hash is checked before any state is touched.
+    assert np.array_equal(target.weight.data, before)
+
+
+def test_crash_during_replace_preserves_previous(tmp_path, monkeypatch):
+    """A crash at the rename leaves the old checkpoint intact and loadable."""
+    init.set_seed(0)
+    model = nn.Linear(2, 2)
+    path = save_checkpoint(tmp_path / "c.npz", model, extra={"version": 1})
+
+    import repro.train.checkpoint as ckpt_mod
+
+    def crash(src, dst):
+        raise OSError("simulated crash mid-replace")
+
+    monkeypatch.setattr(ckpt_mod.os, "replace", crash)
+    with pytest.raises(OSError, match="mid-replace"):
+        save_checkpoint(path, model, extra={"version": 2})
+    monkeypatch.undo()
+
+    assert load_checkpoint(path, nn.Linear(2, 2)) == {"version": 1}
+    assert not list(tmp_path.glob("*.tmp-*"))  # no half-written temp left
+
+
+def test_crash_during_archive_write_preserves_previous(tmp_path, monkeypatch):
+    """Same guarantee when the crash hits mid-serialization, not mid-rename."""
+    init.set_seed(0)
+    model = nn.Linear(2, 2)
+    path = save_checkpoint(tmp_path / "c.npz", model, extra={"version": 1})
+
+    import repro.train.checkpoint as ckpt_mod
+
+    def crash(*args, **kwargs):
+        raise OSError("simulated crash mid-savez")
+
+    monkeypatch.setattr(ckpt_mod.np, "savez", crash)
+    with pytest.raises(OSError, match="mid-savez"):
+        save_checkpoint(path, model, extra={"version": 2})
+    monkeypatch.undo()
+
+    assert load_checkpoint(path, nn.Linear(2, 2)) == {"version": 1}
+    assert not list(tmp_path.glob("*.tmp-*"))
+
+
+def test_training_checkpoint_roundtrip_and_bare_rejection(tmp_path):
+    init.set_seed(0)
+    model = nn.Linear(2, 2)
+    opt = optim.Adam(model.parameters())
+    state = {"epoch": 2, "sequence": 1, "losses": [3.25, 3.0], "rng_state": None}
+    path = save_training_checkpoint(tmp_path / "t.npz", model, opt, state)
+    model2 = nn.Linear(2, 2)
+    restored = load_training_checkpoint(path, model2, optim.Adam(model2.parameters()))
+    assert restored == state
+    bare = save_checkpoint(tmp_path / "bare.npz", model, opt)
+    model3 = nn.Linear(2, 2)
+    with pytest.raises(ValueError, match="bare model checkpoint"):
+        load_training_checkpoint(bare, model3, optim.Adam(model3.parameters()))
 
 
 def test_full_trainer_resume(tmp_path):
