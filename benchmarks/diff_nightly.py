@@ -18,8 +18,8 @@ import pathlib
 import sys
 
 #: Timing fields are diffed as percentages; counter fields as raw deltas.
-_TIMING_FIELDS = ("epoch_s", "compile_s")
-_COUNTER_FIELDS = ("csr_hits", "csr_misses", "noop_skipped")
+_TIMING_FIELDS = ("epoch_s", "compile_s", "prefetch_wait_s")
+_COUNTER_FIELDS = ("csr_hits", "csr_misses", "noop_skipped", "prefetch_hits", "prefetch_misses")
 
 
 def _row_key(row: dict) -> tuple:
@@ -72,6 +72,22 @@ def diff(prev: dict, curr: dict) -> list[str]:
                 lines.append(f"  {section}.{key}: {old} -> {new} ({_pct(old, new)})")
             elif old != new:
                 lines.append(f"  {section}.{key}: {old} -> {new}")
+
+    # Pipeline on/off ablation rows, keyed by the staleness knob.
+    prev_pipe = {r.get("pipeline"): r for r in prev.get("pipeline_ablation", [])}
+    for row in curr.get("pipeline_ablation", []):
+        label = f"pipeline_ablation[pipeline={row.get('pipeline')}]"
+        before = prev_pipe.get(row.get("pipeline"))
+        if before is None:
+            lines.append(f"  {label}: (new) epoch_s={row.get('epoch_s')} "
+                         f"hit%={row.get('prefetch_hit_%')}")
+            continue
+        changes = [f"{f} {_pct(before.get(f, 0), row.get(f, 0))}"
+                   for f in ("epoch_s", "prefetch_wait_s") if f in row]
+        counter_moves = [f"{f} {row.get(f, 0) - before.get(f, 0):+d}"
+                         for f in ("prefetch_hits", "prefetch_misses")
+                         if row.get(f, 0) != before.get(f, 0)]
+        lines.append(f"  {label}: {', '.join(changes + counter_moves) or 'unchanged'}")
     return lines
 
 
@@ -80,7 +96,14 @@ def main(argv: list[str] | None = None) -> int:
     if len(argv) != 2:
         print("usage: diff_nightly.py PREVIOUS.json CURRENT.json", file=sys.stderr)
         return 2
-    prev = json.loads(pathlib.Path(argv[0]).read_text())
+    prev_path = pathlib.Path(argv[0])
+    if not prev_path.exists():
+        # First nightly run (or the artifact expired): there is nothing to
+        # diff against, which is expected — succeed with a clear note
+        # instead of tracebacking in CI.
+        print(f"no baseline yet: {prev_path} does not exist; skipping diff")
+        return 0
+    prev = json.loads(prev_path.read_text())
     curr = json.loads(pathlib.Path(argv[1]).read_text())
     print("\n".join(diff(prev, curr)))
     return 0

@@ -92,6 +92,37 @@ def _nightly_reuse_counters() -> dict:
     }
 
 
+def _pipeline_ablation() -> tuple[list[dict], str]:
+    """Pipeline on/off: the same GPMA training cell serial vs staleness 2.
+
+    Numerics must be identical (the differential test gates that); what the
+    ablation tracks nightly is the wall-clock delta, the staged-snapshot hit
+    rate, and the main-thread prefetch-wait stall.
+    """
+    from repro.bench import run_dynamic_experiment
+    from repro.bench.report import format_table
+    from repro.dataset import load_sx_mathoverflow
+
+    rows = []
+    for pipeline in (0, 2):
+        r = run_dynamic_experiment(
+            "gpma", load_sx_mathoverflow,
+            scale=0.02, feature_size=16, max_snapshots=12,
+            sequence_length=4, epochs=3, warmup=1,
+            pipeline=pipeline,
+        )
+        rows.append({
+            "pipeline": pipeline,
+            "epoch_s": round(r.per_epoch_seconds, 5),
+            "loss": round(r.final_loss, 6),
+            "prefetch_hits": r.prefetch_hits,
+            "prefetch_misses": r.prefetch_misses,
+            "prefetch_hit_%": round(100 * r.prefetch_hit_rate, 1),
+            "prefetch_wait_s": round(r.prefetch_wait_seconds, 5),
+        })
+    return rows, format_table(rows, title="Pipeline ablation (GPMA, staleness 0 vs 2)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true", help="refresh EXPERIMENTS.md measured data")
@@ -143,6 +174,10 @@ def main(argv: list[str] | None = None) -> int:
     print(t3, "\n")
     sections.append(("Table III", t3))
 
+    pipeline_rows, pipe_table = _pipeline_ablation()
+    print(pipe_table, "\n")
+    sections.append(("Pipeline ablation", pipe_table))
+
     elapsed = time.perf_counter() - t_start
     print(f"# total harness time: {elapsed:.1f}s")
 
@@ -158,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
             "rows": rows,
             "micro": _micro_medians(),
             "reuse_counters": _nightly_reuse_counters(),
+            "pipeline_ablation": pipeline_rows,
         }
         args.json.write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")

@@ -33,3 +33,45 @@ def test_fig7(benchmark):
     # losses agree across systems
     losses = [r.final_loss for r in results if r.params["F"] == 8]
     assert max(losses) - min(losses) < 1e-3 * max(1.0, abs(losses[0]))
+
+
+def test_fig7_pipeline_overlap(benchmark):
+    """Pipelined GPMA on the quick fig7 config: identical numerics, staged
+    snapshots serving ≥90% of prefetch-eligible builds, and the serial-vs-
+    pipelined wall clock reported.
+
+    With deferred positioning the training thread does no structural graph
+    work on a prefetch hit (no update replay, no build), so the pipelined
+    run should be no slower than serial — typically ~1.2-1.3x faster here —
+    but the *gated* bound is kept loose (1.15x) because build/compute
+    overlap on shared CI runners is noisy.
+    """
+    from repro.bench.measure import run_dynamic_experiment
+
+    loader = _DATASETS["sx-mathoverflow"]
+    kwargs = dict(feature_size=32, scale=0.05, epochs=4, warmup=1)
+
+    def both():
+        serial = run_dynamic_experiment("gpma", loader, pipeline=0, **kwargs)
+        piped = run_dynamic_experiment("gpma", loader, pipeline=2, **kwargs)
+        return serial, piped
+
+    serial, piped = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    # Numerics: pipelining must not move the loss at all.
+    assert piped.final_loss == serial.final_loss
+    # Effectiveness: ≥90% of prefetch-eligible builds came from the worker.
+    assert piped.prefetch_hits > 0
+    assert piped.prefetch_hit_rate >= 0.90, (
+        f"prefetch hit rate {piped.prefetch_hit_rate:.2%} "
+        f"({piped.prefetch_hits} hits / {piped.prefetch_misses} misses)"
+    )
+    speedup = serial.per_epoch_seconds / piped.per_epoch_seconds
+    print(
+        f"\npipeline ablation: serial {serial.per_epoch_seconds * 1e3:.2f} ms/epoch, "
+        f"pipelined {piped.per_epoch_seconds * 1e3:.2f} ms/epoch "
+        f"({speedup:.2f}x), wait {piped.prefetch_wait_seconds * 1e3:.2f} ms"
+    )
+    # Pipelining must never make the run materially slower than serial
+    # (locally it is ~1.25x faster; the margin absorbs runner noise).
+    assert piped.per_epoch_seconds < 1.15 * serial.per_epoch_seconds

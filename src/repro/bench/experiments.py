@@ -7,6 +7,9 @@ regenerates EXPERIMENTS.md with whatever scale the environment requests:
 * ``REPRO_BENCH_STATIC_SCALE``  (default 0.3)
 * ``REPRO_BENCH_DYNAMIC_SCALE`` (default 0.02)
 * ``REPRO_BENCH_EPOCHS``        (default 4; the paper uses 100)
+* ``REPRO_BENCH_PIPELINE``      (default 0; prefetch staleness for the
+  GPMA cells of the DTDG figures — numerics are unchanged, only wall
+  clock and the prefetch counters move)
 
 Scales multiply Table II's node/edge counts; the paper's qualitative
 claims (orderings, crossovers, slopes) are stable across scales — the
@@ -27,6 +30,7 @@ __all__ = [
     "static_scale",
     "dynamic_scale",
     "bench_epochs",
+    "bench_pipeline",
     "table1_capabilities",
     "table2_datasets",
     "fig5_static_time",
@@ -51,6 +55,11 @@ def dynamic_scale() -> float:
 def bench_epochs() -> int:
     """Epochs per measured run from REPRO_BENCH_EPOCHS (default 4; paper uses 100)."""
     return int(os.environ.get("REPRO_BENCH_EPOCHS", "4"))
+
+
+def bench_pipeline() -> int:
+    """Prefetch staleness for GPMA cells from REPRO_BENCH_PIPELINE (default 0)."""
+    return int(os.environ.get("REPRO_BENCH_PIPELINE", "0"))
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +184,7 @@ def fig7_dtdg_time(
                 r = run_dynamic_experiment(
                     system, loader, feature_size=fs, percent_change=percent_change,
                     scale=scale, epochs=epochs,
+                    pipeline=bench_pipeline() if system == "gpma" else 0,
                 )
                 results.append(r)
                 series[label].append((fs, r.per_epoch_seconds))
@@ -241,6 +251,7 @@ def fig9_time_breakup(
         for fs in feature_sizes:
             r = run_dynamic_experiment(
                 "gpma", loader, feature_size=fs, scale=scale, epochs=epochs,
+                pipeline=bench_pipeline(),
                 tracer=Tracer(name=f"fig9:{name}:F{fs}", keep_events=False),
             )
             results.append(r)

@@ -47,6 +47,13 @@ class RunResult:
     noop_updates_skipped: int = 0
     ctx_cache_hits: int = 0
     ctx_cache_misses: int = 0
+    # Pipelined-prefetch effectiveness (all zero for pipeline=0 runs):
+    # staged snapshots consumed / synchronous rebuilds while a scheduler was
+    # attached / main-thread seconds stalled on an in-flight worker build.
+    pipeline: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_wait_seconds: float = 0.0
     #: per-category span self-seconds (``Tracer.aggregate_by_cat``) when the
     #: run executed under a tracer; empty otherwise.
     span_seconds: dict = field(default_factory=dict)
@@ -84,6 +91,12 @@ class RunResult:
         return self.compile_seconds / denom if denom > 0 else 0.0
 
     @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of prefetch-eligible builds served from staged snapshots."""
+        denom = self.prefetch_hits + self.prefetch_misses
+        return self.prefetch_hits / denom if denom > 0 else 0.0
+
+    @property
     def csr_cache_hit_rate(self) -> float:
         """Fraction of CSR-level positionings served from the reuse cache."""
         denom = self.csr_cache_hits + self.csr_cache_misses
@@ -116,6 +129,10 @@ class RunResult:
             "csr_hits": self.csr_cache_hits,
             "csr_misses": self.csr_cache_misses,
             "noop_skipped": self.noop_updates_skipped,
+            "pipeline": self.pipeline,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_misses": self.prefetch_misses,
+            "prefetch_wait_s": round(self.prefetch_wait_seconds, 5),
         }
 
 
@@ -128,6 +145,9 @@ def _reuse_counters(device: Device) -> dict:
         "noop_updates_skipped": p.counter("noop_updates_skipped"),
         "ctx_cache_hits": p.counter("ctx_cache_hits"),
         "ctx_cache_misses": p.counter("ctx_cache_misses"),
+        "prefetch_hits": p.counter("prefetch_hits"),
+        "prefetch_misses": p.counter("prefetch_misses"),
+        "prefetch_wait_seconds": p.seconds("prefetch_wait"),
     }
 
 
@@ -205,12 +225,16 @@ def run_dynamic_experiment(
     sort_by_degree: bool = True,
     gpma_cache: bool = True,
     csr_cache: bool = True,
+    pipeline: int = 0,
     tracer: Tracer | None = None,
 ) -> RunResult:
     """One cell of Figure 7/8/9: ``system`` ∈ {"naive", "gpma", "pygt"}.
 
     Passing ``tracer`` runs the whole training under it and fills
     :attr:`RunResult.span_seconds` with its per-category self-time aggregate.
+    ``pipeline`` is the prefetch staleness bound (STGraph systems only;
+    numerics are unchanged — only the wall-clock and the prefetch counters
+    move).
     """
     from repro.train.models import PyGTLinkPredictor, STGraphLinkPredictor
     from repro.train.tasks import make_link_prediction_samples
@@ -259,6 +283,7 @@ def run_dynamic_experiment(
                 sequence_length=sequence_length,
                 task="link_prediction",
                 link_samples=samples,
+                pipeline=pipeline,
             )
         with use_tracer(tracer):
             losses = trainer.train(ds.features, targets=None, epochs=epochs, warmup=warmup)
@@ -266,6 +291,7 @@ def run_dynamic_experiment(
             system=system,
             dataset=ds.name,
             params={"F": feature_size, "pct": percent_change},
+            pipeline=int(pipeline) if system != "pygt" else 0,
             per_epoch_seconds=trainer.mean_epoch_time,
             peak_memory_bytes=device.tracker.peak_bytes,
             final_loss=losses[-1],

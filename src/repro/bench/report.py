@@ -141,6 +141,12 @@ def fig9_rows(results: Sequence) -> list[dict]:
             # never dirtied the snapshot.
             "reuse_%": round(100 * r.reuse_rate, 1),
             "noop_skipped": r.noop_updates_skipped,
+            # Pipelined prefetch: staleness bound, staged-snapshot hit rate,
+            # and main-thread seconds stalled behind an in-flight build
+            # (all trivial for pipeline=0 runs).
+            "pipeline": getattr(r, "pipeline", 0),
+            "prefetch_%": round(100 * getattr(r, "prefetch_hit_rate", 0.0), 1),
+            "prefetch_wait_s": round(getattr(r, "prefetch_wait_seconds", 0.0), 5),
         })
     return rows
 

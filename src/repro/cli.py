@@ -179,10 +179,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     trace_path = getattr(args, "trace", None)
     checkpoint_path = getattr(args, "checkpoint", None)
     resume = bool(getattr(args, "resume", False))
+    pipeline = int(getattr(args, "pipeline", 0) or 0)
     if resume and checkpoint_path is None:
         raise SystemExit("--resume requires --checkpoint PATH")
     if checkpoint_path is not None and args.system == "pygt":
         raise SystemExit("--checkpoint/--resume are STGraph-only; the pygt baseline has no resume path")
+    if pipeline and args.system == "pygt":
+        raise SystemExit("--pipeline is STGraph-only; the pygt baseline has no snapshot prefetch")
     tracer = Tracer(name=f"train:{args.dataset}:{args.model}") if trace_path else None
     device = Device(name="cli")
     with use_device(device), use_tracer(tracer):
@@ -204,6 +207,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 trainer = STGraphTrainer(
                     model, ds.build_graph(), lr=args.lr,
                     sequence_length=args.sequence_length,
+                    pipeline=pipeline,
                 )
             if checkpoint_path is not None:
                 losses = trainer.train(
@@ -225,6 +229,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 model, ds.build_gpma(), lr=args.lr,
                 sequence_length=args.sequence_length,
                 task="link_prediction", link_samples=samples,
+                pipeline=pipeline,
             )
             if checkpoint_path is not None:
                 losses = trainer.train(
@@ -246,6 +251,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         upd = device.profiler.seconds("graph_update")
         if gnn + upd > 0:
             print(f"time split: gnn {100 * gnn / (gnn + upd):.1f}% / updates {100 * upd / (gnn + upd):.1f}%")
+        if pipeline:
+            hits = device.profiler.counter("prefetch_hits")
+            misses = device.profiler.counter("prefetch_misses")
+            rate = 100 * hits / (hits + misses) if hits + misses else 0.0
+            print(
+                f"prefetch (staleness {pipeline}): {hits} hits / {misses} misses "
+                f"({rate:.1f}%), wait {device.profiler.seconds('prefetch_wait') * 1e3:.1f} ms"
+            )
         if tracer is not None:
             _write_trace_artifacts(
                 tracer, device, trace_path,
@@ -311,9 +324,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
     from repro.device import current_device
     from repro.obs.tracer import Tracer, use_tracer
 
+    if getattr(args, "pipeline", None) is not None:
+        os.environ["REPRO_BENCH_PIPELINE"] = str(int(args.pipeline))
     trace_path = getattr(args, "trace", None)
     tracer = Tracer(name=f"bench:{args.experiment}") if trace_path else None
     start = time.perf_counter()
@@ -478,6 +495,9 @@ def main(argv: list[str] | None = None) -> int:
                               "OUT.events.jsonl, OUT.manifest.json, OUT.metrics.prom")
     p_train.add_argument("--checkpoint", metavar="PATH.npz", default=None,
                          help="write an atomic training checkpoint at every sequence boundary")
+    p_train.add_argument("--pipeline", type=int, default=0, metavar="K",
+                         help="prefetch staleness: build up to K future snapshots on a "
+                              "worker thread (0 = strictly serial; numerics unchanged)")
     p_train.add_argument("--resume", action="store_true",
                          help="resume from --checkpoint if it exists (bitwise-identical losses)")
 
@@ -499,6 +519,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("--experiment", choices=_EXPERIMENTS, required=True)
+    p_bench.add_argument("--pipeline", type=int, default=None, metavar="K",
+                         help="prefetch staleness for GPMA cells (overrides "
+                              "REPRO_BENCH_PIPELINE for this invocation)")
     p_bench.add_argument("--trace", metavar="OUT.json", default=None,
                          help="trace the experiment; writes the same artifact set as train --trace")
 

@@ -11,9 +11,12 @@
 * execution engines — the run-time half of the compile/run split: the
   generated-kernel engine and the tensor-IR interpreter behind one
   interface, selectable per program or per executor.
+* :class:`PrefetchScheduler` — pipelined temporal execution: builds future
+  snapshots on a worker thread under a bounded-staleness knob.
 """
 
 from repro.core.stacks import GraphStack, StateStack, StackEntry
+from repro.core.prefetch import PrefetchScheduler
 from repro.core.engine import (
     ExecutionEngine,
     InterpreterEngine,
@@ -31,6 +34,7 @@ __all__ = [
     "GraphStack",
     "StackEntry",
     "TemporalExecutor",
+    "PrefetchScheduler",
     "VertexCentricLayer",
     "ExecutionEngine",
     "KernelEngine",

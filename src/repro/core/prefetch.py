@@ -1,0 +1,223 @@
+"""Asynchronous snapshot prefetch for pipelined temporal execution.
+
+Algorithm 1 walks a DTDG strictly in order: position at ``t`` (Get-Graph),
+run the GNN, move on.  Snapshot positioning + materialization is structural
+work on the critical path — the ``graph_update`` share of Figure 9.  The
+:class:`PrefetchScheduler` takes the *materialization* half off that path:
+while the training thread computes timestamp ``t``, a worker thread runs a
+side-effect-free :class:`~repro.graph.snapshot_builder.SnapshotBuilder`
+over the same DTDG to materialize snapshots ``t+1 .. t+k`` and stages them
+in the graph's thread-safe
+:class:`~repro.graph.snapshot_builder.SnapshotCache` — the single handoff
+point.  When the main thread arrives at ``t+1``, ``Get-Graph`` resolves
+only the ``(timestamp, version)`` identity from the shared version map
+(deferred positioning — no update batches are replayed on the training
+thread) and the relabel + Algorithm 3 build is served from the staged
+entry; the physical PMA catches up lazily on a genuine cache miss.
+
+``staleness`` (the ``pipeline`` knob) bounds how far ahead the worker may
+run: ``0`` disables the scheduler entirely (strictly serial — the trainer
+never constructs one), ``k`` lets at most ``k`` snapshots be queued ahead
+of the consumer.  Because prefetched snapshots are built by replaying the
+*same* update batches against the *same* shared version map, a staged entry
+is bitwise identical to what the main thread would have built — pipelining
+changes which thread does the work, never the numbers (the differential
+test in ``tests/test_pipeline_differential.py`` gates this).
+
+Scheduling wraps around the end of the DTDG (``(t + i) % T``): while the
+last timestamps of an epoch compute, the worker is already staging ``t=0``
+for the next epoch, so in steady state only the very first build of a run
+misses.
+
+Thread-context rules: the worker runs under the device and tracer captured
+when the scheduler starts (spans land in a ``prefetch-<lane>`` track of the
+Chrome export; build time is billed to the ``"prefetch"`` profiler phase,
+not ``"graph_update"``).  The fault injector is deliberately *not*
+installed on the worker — planned fault positions refer to main-thread
+graph operations, and prefetching must not shift them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.device import current_device, use_device
+from repro.obs.tracer import current_tracer, use_tracer
+
+__all__ = ["PrefetchScheduler"]
+
+#: Generous bound on joining the worker at shutdown; a single snapshot
+#: build is orders of magnitude faster, so expiry indicates a wedged worker
+#: (reported via RuntimeError rather than leaking the thread silently).
+_JOIN_TIMEOUT = 30.0
+
+
+class PrefetchScheduler:
+    """Builds upcoming snapshots on a worker thread, ``staleness`` ahead.
+
+    Owned by :class:`~repro.core.executor.TemporalExecutor`; one scheduler
+    drives one graph.  The worker thread is started lazily on the first
+    :meth:`schedule_ahead` and is a daemon (a crashed training process never
+    hangs on it), but normal teardown goes through :meth:`stop`, which
+    drains the queue and joins — no dangling thread.
+    """
+
+    def __init__(self, graph, staleness: int = 1) -> None:
+        if staleness < 1:
+            raise ValueError("PrefetchScheduler requires staleness >= 1; use no scheduler for 0")
+        self.graph = graph
+        self.staleness = int(staleness)
+        self.builder = graph.snapshot_builder()
+        self._cache = graph._csr_cache
+        self._num_ts = int(graph.dtdg.num_timestamps)
+        self._cv = threading.Condition()
+        self._pending: deque[int] = deque()
+        self._queued: set[int] = set()
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        self._device = None
+        self._tracer = None
+        #: timestamps handed to the worker over the scheduler's lifetime
+        self.scheduled_total = 0
+        #: first exception raised inside the worker (None if healthy);
+        #: the graph degrades to synchronous builds, so this is diagnostic.
+        self.worker_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def built_total(self) -> int:
+        """Snapshots actually materialized by the worker's builder."""
+        return self.builder.builds
+
+    @property
+    def running(self) -> bool:
+        """True while the worker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def _ensure_started(self) -> None:
+        if self.running:
+            return
+        # Capture the *scheduling* thread's device and tracer: the worker
+        # installs them on itself, so allocator accounting and spans from
+        # prefetch builds land in the same run's registries.
+        self._device = current_device()
+        self._tracer = current_tracer()
+        self._stopping = False
+        self.graph.attach_prefetcher(True)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (training thread)
+    # ------------------------------------------------------------------
+    def schedule_ahead(self, t: int) -> int:
+        """Queue builds for the ``staleness`` timestamps after ``t``.
+
+        Wraps around the end of the DTDG so the next epoch's first
+        snapshots are staged while the current epoch finishes.  Timestamps
+        already cached, staged, queued, or in flight are skipped.  Returns
+        the number of timestamps newly queued.
+        """
+        self._ensure_started()
+        queued = 0
+        with self._cv:
+            for i in range(1, self.staleness + 1):
+                ts = (int(t) + i) % self._num_ts
+                if ts in self._queued or self._cache.inflight(ts):
+                    continue
+                if self._cached_key(ts) is not None:
+                    continue
+                if len(self._pending) >= self.staleness:
+                    break
+                self._pending.append(ts)
+                self._queued.add(ts)
+                queued += 1
+                self.scheduled_total += 1
+            if queued:
+                self._cv.notify_all()
+        return queued
+
+    def _cached_key(self, ts: int):
+        """The cache key of ``ts`` if its snapshot is already available.
+
+        A timestamp whose version was never assigned cannot be cached; a
+        known version is checked against the cache (LRU + staging).
+        """
+        version = self.graph._versions.get(int(ts))
+        if version is None:
+            return None
+        key = (int(ts), version)
+        return key if self._cache.contains(key) else None
+
+    def cancel_pending(self) -> int:
+        """Drop every queued-but-not-started build; returns how many."""
+        with self._cv:
+            dropped = len(self._pending)
+            self._pending.clear()
+            self._queued.clear()
+        return dropped
+
+    def stop(self) -> None:
+        """Cancel pending work, join the worker, detach from the graph.
+
+        Safe to call repeatedly and from ``finally`` blocks; the scheduler
+        restarts lazily on the next :meth:`schedule_ahead`.
+        """
+        thread = self._thread
+        with self._cv:
+            self._pending.clear()
+            self._queued.clear()
+            self._stopping = True
+            self._cv.notify_all()
+        if thread is not None:
+            thread.join(timeout=_JOIN_TIMEOUT)
+            if thread.is_alive():  # pragma: no cover - wedged worker
+                raise RuntimeError("prefetch worker did not stop within timeout")
+        self._thread = None
+        self.graph.attach_prefetcher(False)
+
+    def stats(self) -> dict[str, int]:
+        """Scheduler-side accounting (cache-side hit/miss lives on the graph)."""
+        with self._cv:
+            pending = len(self._pending)
+        return {
+            "prefetch_scheduled": self.scheduled_total,
+            "prefetch_built": self.built_total,
+            "prefetch_pending": pending,
+            "prefetch_staleness": self.staleness,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        with use_device(self._device), use_tracer(self._tracer):
+            while True:
+                with self._cv:
+                    while not self._pending and not self._stopping:
+                        self._cv.wait()
+                    if self._stopping:
+                        return
+                    ts = self._pending.popleft()
+                    self._queued.discard(ts)
+                self._build_one(ts)
+
+    def _build_one(self, ts: int) -> None:
+        if self._cached_key(ts) is not None:
+            return
+        cache = self._cache
+        cache.mark_inflight(ts)
+        try:
+            profiler = current_device().profiler
+            with current_tracer().span("prefetch.snapshot", "prefetch", t=int(ts)):
+                with profiler.phase("prefetch"):
+                    key, snap = self.builder.build(ts)
+                    cache.stage(key, snap)
+        except BaseException as exc:  # keep the loop alive; graph degrades
+            if self.worker_error is None:
+                self.worker_error = exc
+        finally:
+            cache.clear_inflight(ts)

@@ -15,6 +15,7 @@ from typing import Iterator
 from repro.device.allocator import DeviceAllocator, MemoryTracker
 from repro.device.kernel import KernelLauncher
 from repro.device.profiler import Profiler
+from repro.util.ctxstack import ContextStack
 
 __all__ = ["Device", "default_device", "current_device", "use_device"]
 
@@ -70,17 +71,23 @@ class DeviceOutOfMemoryError(MemoryError):
 
 
 _DEFAULT = Device()
-_STACK: list[Device] = [_DEFAULT]
+_STACK: ContextStack[Device] = ContextStack(_DEFAULT)
 
 
 def default_device() -> Device:
     """The process-wide default device."""
-    return _DEFAULT
+    return _STACK.default
 
 
 def current_device() -> Device:
-    """The innermost active device (default unless inside :func:`use_device`)."""
-    return _STACK[-1]
+    """The innermost active device (default unless inside :func:`use_device`).
+
+    Per-thread, like every :class:`~repro.util.ctxstack.ContextStack`: a
+    worker thread sees the process default unless a device is installed on
+    that thread (the prefetch scheduler does exactly that with the device it
+    captured from the thread that started it).
+    """
+    return _STACK.current()
 
 
 @contextlib.contextmanager
@@ -90,8 +97,5 @@ def use_device(device: Device) -> Iterator[Device]:
     Benchmarks create a fresh device per measured configuration so peak
     memory and phase timings are isolated between runs.
     """
-    _STACK.append(device)
-    try:
+    with _STACK.use(device):
         yield device
-    finally:
-        _STACK.pop()

@@ -21,6 +21,7 @@ measured cell.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -28,20 +29,25 @@ from typing import Iterator
 __all__ = ["PHASES", "COUNTERS", "PhaseTimer", "Profiler"]
 
 #: The phases the framework itself reports: one-time compilation (plan
-#: cache misses), GNN kernel execution, dynamic-graph updates, and dataset
-#: preprocessing.  User code may time arbitrary extra phases.
-PHASES = ("compile", "gnn", "graph_update", "preprocess")
+#: cache misses), GNN kernel execution, dynamic-graph updates, dataset
+#: preprocessing, snapshot builds done off the critical path by the
+#: prefetch worker, and main-thread stalls waiting on an in-flight
+#: prefetch.  User code may time arbitrary extra phases.
+PHASES = ("compile", "gnn", "graph_update", "preprocess", "prefetch", "prefetch_wait")
 
 #: The event counters the framework itself reports: snapshot/context reuse,
-#: plus the resilience ladder (injected faults, kernel retries, interpreter
-#: fallbacks, cache-corruption rebuilds, aborted sequences).  User code may
-#: count arbitrary extra events.
+#: pipelined-prefetch effectiveness, plus the resilience ladder (injected
+#: faults, kernel retries, interpreter fallbacks, cache-corruption
+#: rebuilds, aborted sequences).  User code may count arbitrary extra
+#: events.
 COUNTERS = (
     "csr_cache_hits",
     "csr_cache_misses",
     "noop_updates_skipped",
     "ctx_cache_hits",
     "ctx_cache_misses",
+    "prefetch_hits",
+    "prefetch_misses",
     "faults_injected",
     "kernel_retries",
     "engine_fallbacks",
@@ -71,19 +77,32 @@ class Profiler:
 
     Nested phases are attributed to the innermost phase only, so "graph
     update" time inside a training step is not double counted as "gnn" time.
+
+    Thread-safe: the nesting stack is per-thread (a phase opened on the
+    prefetch worker pauses only that thread's enclosing phase), while the
+    accumulated timers and event counters are shared across threads under a
+    lock — so concurrent phases on two threads both accumulate wall time,
+    which is exactly what overlap should look like in the totals.
     """
 
     def __init__(self) -> None:
         self._phases: dict[str, PhaseTimer] = {}
-        self._stack: list[tuple[str, float]] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self.enabled = True
+
+    def _stack(self) -> list[tuple[str, float]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
 
     def _timer(self, name: str) -> PhaseTimer:
         timer = self._phases.get(name)
         if timer is None:
-            timer = PhaseTimer(name)
-            self._phases[name] = timer
+            timer = self._phases.setdefault(name, PhaseTimer(name))
         return timer
 
     @contextmanager
@@ -93,26 +112,30 @@ class Profiler:
             yield
             return
         start = time.perf_counter()
+        stack = self._stack()
         # Pause the enclosing phase so nested time is attributed once.
-        if self._stack:
-            outer_name, outer_start = self._stack[-1]
-            self._timer(outer_name).total_seconds += start - outer_start
-        self._stack.append((name, start))
+        if stack:
+            outer_name, outer_start = stack[-1]
+            with self._lock:
+                self._timer(outer_name).total_seconds += start - outer_start
+        stack.append((name, start))
         try:
             yield
         finally:
             end = time.perf_counter()
+            stack = self._stack()
             # reset() inside an open phase clears the stack; the interval
             # being unwound belongs to the discarded pre-reset accounting,
             # so it is dropped rather than crashing on an empty pop.
-            if self._stack:
-                inner_name, inner_start = self._stack.pop()
-                timer = self._timer(inner_name)
-                timer.total_seconds += end - inner_start
-                timer.calls += 1
-                if self._stack:
-                    outer_name, _ = self._stack[-1]
-                    self._stack[-1] = (outer_name, end)
+            if stack:
+                inner_name, inner_start = stack.pop()
+                with self._lock:
+                    timer = self._timer(inner_name)
+                    timer.total_seconds += end - inner_start
+                    timer.calls += 1
+                if stack:
+                    outer_name, _ = stack[-1]
+                    stack[-1] = (outer_name, end)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds for a phase (0 if never entered)."""
@@ -130,10 +153,11 @@ class Profiler:
 
     # -- event counters --------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
-        """Accumulate ``n`` occurrences of the named event."""
+        """Accumulate ``n`` occurrences of the named event (thread-safe)."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
 
     def counter(self, name: str) -> int:
         """Accumulated count for an event (0 if never counted)."""
@@ -150,7 +174,8 @@ class Profiler:
         deltas per span; unlike :meth:`counters` it includes ad-hoc events
         and omits never-counted framework names.
         """
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def breakdown(self) -> dict[str, float]:
         """Fraction of total profiled time per phase (sums to 1.0)."""
@@ -160,7 +185,10 @@ class Profiler:
         return {name: t.total_seconds / total for name, t in self._phases.items()}
 
     def reset(self) -> None:
-        """Clear all phases and counters."""
-        self._phases.clear()
-        self._stack.clear()
-        self._counters.clear()
+        """Clear all phases and counters (the calling thread's open-phase
+        nesting is discarded too; other threads' stacks unwind harmlessly
+        against the cleared timers)."""
+        with self._lock:
+            self._phases.clear()
+            self._counters.clear()
+        self._stack().clear()

@@ -15,20 +15,28 @@ run directly over the *gapped* PMA storage.
 Snapshot builds are **versioned and reuse-cached**: every timestamp is
 assigned a stable snapshot version the first time its content is realized
 (no-op update batches reuse the previous timestamp's version, since the
-content is identical), and built ``(fwd_csr, bwd_csr, in_deg, out_deg)``
-artifacts are kept in a small ``(timestamp, version)``-keyed LRU.  The LIFO
-backward walk over a training sequence therefore repositions the PMA but
-serves every CSR from cache instead of re-running relabelling + Algorithm 3
-— the dominant share of Figure 9's ``graph_update`` time.
+content is identical), and built artifacts are kept in a
+``(timestamp, version)``-keyed LRU.  The LIFO backward walk over a training
+sequence therefore repositions the PMA but serves every CSR from cache
+instead of re-running relabelling + Algorithm 3 — the dominant share of
+Figure 9's ``graph_update`` time.
 
-All structural work (updates, relabelling, CSR builds) is attributed to the
-``"graph_update"`` profiler phase; Figure 9 plots its share of epoch time.
+Since the pipelined-execution refactor the graph is split along the seam in
+:mod:`repro.graph.snapshot_builder`: the mutable position lives in an
+:class:`~repro.graph.snapshot_builder.UpdateCursor`, and
+:meth:`GPMAGraph.snapshot_builder` hands out side-effect-free
+:class:`~repro.graph.snapshot_builder.SnapshotBuilder`\\ s that materialize
+future snapshots on a worker thread; the thread-safe
+:class:`~repro.graph.snapshot_builder.SnapshotCache` is the single handoff
+point (see docs/EXECUTOR.md §Pipelined execution).
+
+All structural work (updates, relabelling, CSR builds) done on the training
+thread is attributed to the ``"graph_update"`` profiler phase; worker-side
+builds are attributed to ``"prefetch"``, and main-thread stalls on an
+in-flight prefetch to ``"prefetch_wait"``.  Figure 9 plots the split.
 """
 
 from __future__ import annotations
-
-from collections import OrderedDict
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,36 +44,23 @@ from repro.device import current_device
 from repro.graph.base import STGraphBase
 from repro.graph.csr import CSR
 from repro.graph.dtdg import DTDG
-from repro.graph.labels import decode_edges, encode_edges
+from repro.graph.snapshot_builder import (
+    BuiltSnapshot,
+    SnapshotBuilder,
+    SnapshotCache,
+    SnapshotVersionMap,
+    UpdateCursor,
+    build_snapshot_arrays,
+    gapped_csr_arrays,
+)
 from repro.obs.tracer import current_tracer
-from repro.pma import PackedMemoryArray, SPACE_KEY
 from repro.resilience.faults import current_injector
 
 __all__ = ["GPMAGraph"]
 
-_INT64_MAX = np.iinfo(np.int64).max
-
-
-@dataclass
-class _CachedState:
-    """A saved PMA state (Algorithm 2's graph cache)."""
-
-    time: int
-    version: int
-    keys: np.ndarray
-    values: np.ndarray
-    counts: np.ndarray
-    n_items: int
-
-
-@dataclass
-class _BuiltSnapshot:
-    """One (timestamp, version) entry of the CSR reuse cache."""
-
-    fwd: CSR
-    bwd: CSR
-    in_deg: np.ndarray
-    out_deg: np.ndarray
+#: Upper bound on a main-thread stall behind one in-flight prefetch build;
+#: on expiry the graph falls back to a synchronous rebuild.
+_PREFETCH_WAIT_TIMEOUT = 60.0
 
 
 class GPMAGraph(STGraphBase):
@@ -80,41 +75,93 @@ class GPMAGraph(STGraphBase):
         enable_csr_cache: bool = True,
         csr_cache_size: int = 4,
     ) -> None:
-        super().__init__(dtdg.num_nodes, sort_by_degree)
         self.dtdg = dtdg
+        self._versions = SnapshotVersionMap()
+        with current_device().profiler.phase("preprocess"):
+            self._cursor = UpdateCursor(
+                dtdg,
+                self._versions,
+                enable_cache=enable_cache,
+                on_noop=lambda: self._count("noop_updates_skipped"),
+            )
+        # Logical position: the (timestamp, version) identity this graph
+        # *claims*.  Serially it always equals the physical cursor's; while
+        # a prefetcher is attached, positioning is deferred — the identity
+        # is resolved from the shared version map and the physical PMA only
+        # catches up on a genuine cache miss (see _advance).
+        self._pos_time = 0
+        self._pos_version = 0
+        # Version of the installed _fwd/_bwd artifacts (None = none valid).
+        self._built_version: int | None = None
+        super().__init__(dtdg.num_nodes, sort_by_degree)
         self.enable_cache = enable_cache
         self.enable_csr_cache = bool(enable_csr_cache) and csr_cache_size > 0
         self.csr_cache_size = int(csr_cache_size)
-        profiler = current_device().profiler
-        with profiler.phase("preprocess"):
-            src, dst = dtdg.snapshot_edges(0)
-            keys = encode_edges(src, dst, dtdg.num_nodes)
-            self.pma = PackedMemoryArray(capacity=max(64, 2 * len(keys)))
-            self.pma.insert_batch(keys, keys)
-        self.curr_time = 0
-        self._cache: _CachedState | None = None
-        self._dirty = True
         self._fwd: CSR | None = None
         self._bwd: CSR | None = None
         self._in_deg: np.ndarray | None = None
         self._out_deg: np.ndarray | None = None
-        # Snapshot versioning: each timestamp gets a stable version the first
-        # time its content is realized; no-op updates inherit the previous
-        # timestamp's version (identical content).  ``_version_counter`` only
-        # allocates (monotonically), so a version is never reused for
-        # different content.
-        self._ts_versions: dict[int, int] = {0: 0}
-        self._version_counter = 0
-        # (timestamp, version) -> _BuiltSnapshot LRU (Algorithm 3 reuse).
-        self._csr_cache: OrderedDict[tuple[int, int], _BuiltSnapshot] = OrderedDict()
+        # (timestamp, version) -> BuiltSnapshot; thread-safe — the single
+        # handoff point between the prefetch worker and this thread.
+        self._csr_cache = SnapshotCache(self.csr_cache_size)
         # One hit/miss is recorded per temporal positioning (not per CSR
         # accessor call); reset on every _advance.
         self._reuse_counted = False
-        # Counters for the ablation benchmarks.
-        self.update_batches_applied = 0
-        self.cache_restores = 0
+        # Bumped whenever the version map is rewritten (checkpoint resume);
+        # builders re-seed their private cursors when they observe a bump.
+        self._builder_epoch = 0
+        # True while a PrefetchScheduler is attached: misses then count as
+        # prefetch_misses and an in-flight build is worth waiting for.
+        self._prefetch_active = False
         # Planned cache-corruption faults that forced Algorithm-3 rebuilds.
         self.cache_fault_rebuilds = 0
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+
+    # ------------------------------------------------------------------
+    # Mutable-core delegation (the update cursor owns position state)
+    # ------------------------------------------------------------------
+    @property
+    def pma(self):
+        """The main cursor's PMA.
+
+        Serially this is the snapshot at :attr:`curr_time`; under deferred
+        (pipelined) positioning it may lag the logical position — cache-hit
+        timestamps never replay update batches on this thread.  Paths that
+        genuinely need the storage (:meth:`gapped_csr`, a synchronous
+        rebuild) catch the cursor up first.
+        """
+        return self._cursor.pma
+
+    @property
+    def curr_time(self) -> int:
+        """Timestamp this graph is logically positioned at."""
+        return self._pos_time
+
+    @property
+    def snapshot_version(self) -> int:
+        """Stable content version of the currently exposed snapshot."""
+        return self._pos_version
+
+    @snapshot_version.setter
+    def snapshot_version(self, value: int) -> None:
+        self._pos_version = int(value)
+        self._cursor.version = int(value)
+
+    @property
+    def update_batches_applied(self) -> int:
+        """Non-empty update batches the main cursor has applied."""
+        return self._cursor.update_batches_applied
+
+    @property
+    def cache_restores(self) -> int:
+        """Times the main cursor restored its saved PMA state."""
+        return self._cursor.cache_restores
+
+    @property
+    def _ts_versions(self) -> dict[int, int]:
+        """Copy of the shared timestamp -> version assignments (tests/diagnostics)."""
+        return self._versions.as_dict()
 
     # ------------------------------------------------------------------
     # Algorithm 2: temporal positioning
@@ -144,33 +191,13 @@ class GPMAGraph(STGraphBase):
         """
         if not self.enable_cache:
             return
+        if self._prefetch_active and self._cursor.time != self._pos_time:
+            # Deferred positioning: the physical cursor lags the logical
+            # position, so there is no state worth saving — the prefetch
+            # builder keeps its own wraparound cache point.
+            return
         with current_device().profiler.phase("graph_update"):
-            self._cache = _CachedState(
-                time=self.curr_time,
-                version=self.snapshot_version,
-                keys=self.pma.keys.copy(),
-                values=self.pma.values.copy(),
-                counts=self.pma.segment_counts(),
-                n_items=self.pma.n_items,
-            )
-
-    def _restore_cache(self) -> None:
-        assert self._cache is not None
-        cache = self._cache
-        if cache.keys.shape != self.pma.keys.shape:
-            # Capacity changed since the cache was taken; rebuild geometry.
-            self.pma._alloc_arrays(len(cache.keys))
-        self.pma.keys[...] = cache.keys
-        self.pma.values[...] = cache.values
-        self.pma._counts[...] = cache.counts
-        self.pma.n_items = cache.n_items
-        self.pma._refresh_seg_min()
-        self.curr_time = cache.time
-        # The restored snapshot keeps the version it was assigned when first
-        # realized, so its built CSRs remain valid cache entries.
-        self.snapshot_version = cache.version
-        self._dirty = True
-        self.cache_restores += 1
+            self._cursor.cache_state()
 
     def snapshot_key(self) -> tuple:
         """Content identity of the snapshot the PMA currently holds.
@@ -183,6 +210,24 @@ class GPMAGraph(STGraphBase):
         which lets a no-op boundary reuse the previous timestamp's context.
         """
         return (None, self.snapshot_version)
+
+    # ------------------------------------------------------------------
+    # Pipelined execution: side-effect-free builders
+    # ------------------------------------------------------------------
+    def snapshot_builder(self) -> SnapshotBuilder:
+        """A side-effect-free builder over this graph's DTDG + version map.
+
+        The builder owns a private :class:`UpdateCursor`; building snapshot
+        ``t+k`` on a worker thread never touches this graph's PMA.  Handoff
+        happens through the thread-safe :attr:`_csr_cache` (the scheduler
+        stages worker builds there).
+        """
+        return SnapshotBuilder(self)
+
+    def attach_prefetcher(self, active: bool) -> None:
+        """Mark whether a prefetch scheduler is feeding the snapshot cache
+        (switches miss accounting and in-flight waiting on or off)."""
+        self._prefetch_active = bool(active)
 
     # ------------------------------------------------------------------
     # Checkpoint/resume: snapshot-version cursor
@@ -199,8 +244,8 @@ class GPMAGraph(STGraphBase):
         return {
             "curr_time": int(self.curr_time),
             "snapshot_version": int(self.snapshot_version),
-            "version_counter": int(self._version_counter),
-            "ts_versions": {str(t): int(v) for t, v in self._ts_versions.items()},
+            "version_counter": int(self._versions.counter),
+            "ts_versions": {str(t): int(v) for t, v in self._versions.as_dict().items()},
         }
 
     def restore_version_cursor(self, cursor: dict) -> None:
@@ -208,68 +253,54 @@ class GPMAGraph(STGraphBase):
 
         The PMA replays update batches to reach ``curr_time`` (allocating
         throwaway versions along the way), then the recorded assignments
-        overwrite the bookkeeping.  Both caches are dropped: their keys were
-        minted under the throwaway versions.
+        overwrite the bookkeeping.  Both caches are dropped (their keys were
+        minted under the throwaway versions) and the builder epoch is bumped
+        so any prefetch builder re-seeds its private cursor.
         """
         self.get_graph(int(cursor["curr_time"]))
-        self._ts_versions = {int(t): int(v) for t, v in cursor["ts_versions"].items()}
-        self._version_counter = int(cursor["version_counter"])
+        self._versions.restore(
+            {int(t): int(v) for t, v in cursor["ts_versions"].items()},
+            int(cursor["version_counter"]),
+        )
         self.snapshot_version = int(cursor["snapshot_version"])
-        self._cache = None
+        self._cursor.drop_cache()
         self._csr_cache.clear()
-        self._dirty = True
+        self._built_version = None
+        self._builder_epoch += 1
 
     def _advance(self, t: int) -> None:
-        if not (0 <= t < self.dtdg.num_timestamps):
-            raise IndexError(f"timestamp {t} out of range [0, {self.dtdg.num_timestamps})")
-        self._reuse_counted = False
-        if t == self.curr_time:
-            return
-        # Algorithm 2 lines 1-5: retrieving the cached graph is worthwhile
-        # whenever it is a closer starting point than the current position —
-        # updates are reversible, so this holds for rewinds past the cache
-        # just as much as for forward jumps onto it.
-        if (
-            self.enable_cache
-            and self._cache is not None
-            and abs(t - self._cache.time) < abs(t - self.curr_time)
-        ):
-            self._restore_cache()
-        while self.curr_time < t:
-            self._apply_update(self.dtdg.updates[self.curr_time + 1], forward=True, ts_new=self.curr_time + 1)
-            self.curr_time += 1
-        while self.curr_time > t:
-            self._apply_update(self.dtdg.updates[self.curr_time], forward=False, ts_new=self.curr_time - 1)
-            self.curr_time -= 1
+        """Position at ``t`` — logically when pipelined, physically otherwise.
 
-    def _apply_update(self, update, forward: bool, ts_new: int) -> None:
-        """One ``edge_update_t`` batch (Algorithm 2 line 7) arriving at ``ts_new``.
-
-        No-op batches (zero additions and zero deletions) neither dirty the
-        snapshot nor change its version: the content at ``ts_new`` is
-        bitwise identical to the current one, so the built CSRs stay valid.
+        With a prefetcher attached, positioning only has to resolve the
+        ``(t, version)`` content identity: the version map is shared, so once
+        *any* cursor (usually the worker's) has realized ``t``, this thread
+        knows the cache key without replaying a single update batch.  The
+        physical PMA stays parked and only catches up inside a synchronous
+        rebuild (cache miss) — in the steady state the training thread does
+        no structural graph work at all.  If the version is still unknown,
+        an in-flight build for ``t`` is waited for (``prefetch_wait``);
+        otherwise the cursor advances synchronously as in the serial path.
         """
-        upd = update if forward else update.reversed()
-        if len(upd.del_src) == 0 and len(upd.add_src) == 0:
-            self._count("noop_updates_skipped")
-            self._ts_versions.setdefault(ts_new, self.snapshot_version)
-            self.snapshot_version = self._ts_versions[ts_new]
-            return
-        if len(upd.del_src):
-            self.pma.delete_batch(encode_edges(upd.del_src, upd.del_dst, self.num_nodes))
-        if len(upd.add_src):
-            keys = encode_edges(upd.add_src, upd.add_dst, self.num_nodes)
-            self.pma.insert_batch(keys, keys)
-        self.update_batches_applied += 1
-        ver = self._ts_versions.get(ts_new)
-        if ver is None:
-            # First time this timestamp's content is realized: allocate a
-            # fresh (monotonically increasing) version for it.
-            self._version_counter += 1
-            ver = self._version_counter
-            self._ts_versions[ts_new] = ver
-        self.snapshot_version = ver
-        self._dirty = True
+        self._reuse_counted = False
+        t = int(t)
+        if self._prefetch_active and self.enable_csr_cache:
+            version = self._versions.get(t)
+            if version is None and self._csr_cache.inflight(t):
+                with current_device().profiler.phase("prefetch_wait"):
+                    self._csr_cache.wait_not_inflight(t, timeout=_PREFETCH_WAIT_TIMEOUT)
+                version = self._versions.get(t)
+            if version is not None:
+                self._pos_time = t
+                self._pos_version = version
+                return
+        self._cursor.advance(t)
+        self._pos_time = self._cursor.time
+        self._pos_version = self._cursor.version
+
+    def _catch_up(self) -> None:
+        """Bring the physical cursor to the logical position (miss path)."""
+        if self._cursor.time != self._pos_time:
+            self._cursor.advance(self._pos_time)
 
     # ------------------------------------------------------------------
     # Snapshot materialization (relabel + Algorithm 3)
@@ -281,64 +312,25 @@ class GPMAGraph(STGraphBase):
         indexes the first slot that could hold an edge of source ``i`` and
         gap slots carry ``SPACE`` — the exact input shape of Algorithm 3.
         """
-        keys, _ = self.pma.gapped_arrays()
-        valid = keys != SPACE_KEY
-        # Backward-fill gaps with the next valid key so the slot array is
-        # non-decreasing and boundaries can be found with searchsorted.
-        filled = np.where(valid, keys, _INT64_MAX)
-        backfilled = np.minimum.accumulate(filled[::-1])[::-1]
-        boundaries = np.arange(self.num_nodes + 1, dtype=np.int64) * np.int64(self.num_nodes)
-        row_offset = np.searchsorted(backfilled, boundaries, side="left").astype(np.int64)
-        cols = np.where(valid, keys - (keys // self.num_nodes) * self.num_nodes, SPACE_KEY)
-        # Relabel (Algorithm 2 line 8): label = rank among surviving edges.
-        eids = np.full(len(keys), -1, dtype=np.int64)
-        eids[valid] = np.arange(int(valid.sum()), dtype=np.int64)
-        return row_offset, cols, eids
+        self._catch_up()
+        return gapped_csr_arrays(self.pma, self.num_nodes)
 
-    def _rebuild(self) -> None:
-        from repro.graph.reverse import reverse_gpma_vectorized
+    def _install(self, snap: BuiltSnapshot, version: int) -> None:
+        self._fwd, self._bwd = snap.fwd, snap.bwd
+        self._in_deg, self._out_deg = snap.in_deg, snap.out_deg
+        self._built_version = int(version)
 
-        with current_tracer().span(
-            "gpma.rebuild", "graph_update", t=self.curr_time, edges=self.pma.n_items
-        ), current_device().profiler.phase("graph_update"):
-            alloc = current_device().alloc
-            keys, _ = self.pma.export_items()
-            src, dst = decode_edges(keys, self.num_nodes)
-            num_edges = len(keys)
-            labels = np.arange(num_edges, dtype=np.int64)
-
-            out_deg = np.bincount(src, minlength=self.num_nodes).astype(np.int64)
-            in_deg = np.bincount(dst, minlength=self.num_nodes).astype(np.int64)
-
-            # Backward (out-)CSR falls straight out of the sorted keys.
-            bwd_row = alloc.zeros(self.num_nodes + 1, dtype=np.int64, tag="gpma.bwd.row")
-            np.cumsum(out_deg, out=bwd_row[1:])
-            bwd_col = alloc.adopt(dst, tag="gpma.bwd.col")
-            bwd_eid = alloc.adopt(labels.copy(), tag="gpma.bwd.eid")
-            bwd_ids = (
-                np.argsort(-out_deg, kind="stable").astype(np.int64)
-                if self.sort_by_degree
-                else np.arange(self.num_nodes, dtype=np.int64)
-            )
-            self._bwd = CSR(bwd_row, bwd_col, bwd_eid, alloc.adopt(bwd_ids, tag="gpma.bwd.ids"))
-
-            # Forward (reverse) CSR via Algorithm 3 over the gapped storage.
-            g_row, g_col, g_eid = self.gapped_csr()
-            f_row, f_col, f_eid = reverse_gpma_vectorized(g_row, g_col, g_eid, self.num_nodes)
-            fwd_ids = (
-                np.argsort(-in_deg, kind="stable").astype(np.int64)
-                if self.sort_by_degree
-                else np.arange(self.num_nodes, dtype=np.int64)
-            )
-            self._fwd = CSR(
-                alloc.adopt(f_row, tag="gpma.fwd.row"),
-                alloc.adopt(f_col, tag="gpma.fwd.col"),
-                alloc.adopt(f_eid, tag="gpma.fwd.eid"),
-                alloc.adopt(fwd_ids, tag="gpma.fwd.ids"),
-            )
-            self._in_deg = alloc.adopt(in_deg, tag="gpma.in_deg")
-            self._out_deg = alloc.adopt(out_deg, tag="gpma.out_deg")
-            self._dirty = False
+    def _rebuild(self) -> BuiltSnapshot:
+        with current_device().profiler.phase("graph_update"):
+            self._catch_up()
+            with current_tracer().span(
+                "gpma.rebuild", "graph_update", t=self.curr_time, edges=self.pma.n_items
+            ):
+                snap = build_snapshot_arrays(
+                    self.pma, self.num_nodes, self.sort_by_degree, current_device().alloc
+                )
+            self._install(snap, self._pos_version)
+            return snap
 
     def _ensure_built(self) -> None:
         """Serve the current snapshot's artifacts, via the reuse cache.
@@ -346,11 +338,16 @@ class GPMAGraph(STGraphBase):
         One ``csr_cache_hits``/``csr_cache_misses`` event is recorded per
         temporal positioning: a hit when the ``(timestamp, version)`` pair is
         served without re-running relabelling + Algorithm 3 (either the
-        current build is still valid or the LRU holds it), a miss when a
-        rebuild was unavoidable.
+        current build is still valid or the cache holds it), a miss when a
+        rebuild was unavoidable.  While a prefetch scheduler is attached,
+        a hit on a worker-built (staged) entry additionally counts as a
+        ``prefetch_hit``, a synchronous rebuild as a ``prefetch_miss``, and
+        a build the worker has in flight for exactly this timestamp is
+        waited for (billed to the ``prefetch_wait`` phase) rather than
+        duplicated.
 
         A planned ``"cache"`` fault (``use_fault_plan``) marks every cached
-        artifact — the current build, the CSR reuse LRU, and the PMA
+        artifact — the current build, the CSR reuse cache, and the PMA
         snapshot cache — as corrupted; the graph then degrades to the
         Algorithm-3 rebuild path, which derives everything from the PMA's
         authoritative storage.  Counted as ``cache_fault_rebuilds``.
@@ -358,37 +355,46 @@ class GPMAGraph(STGraphBase):
         injector = current_injector()
         if injector.enabled and injector.take("cache") is not None:
             self._csr_cache.clear()
-            self._cache = None
+            self._cursor.drop_cache()
             self._fwd = self._bwd = None
             self._in_deg = self._out_deg = None
-            self._dirty = True
+            self._built_version = None
             self._count("cache_fault_rebuilds")
-        if not self._dirty and self._fwd is not None:
+        # The stable version alone is content identity, so the installed
+        # artifacts are valid whenever their version matches the logical
+        # position's — across no-op chains and backward revisits alike.
+        if self._built_version == self._pos_version and self._fwd is not None:
             if self.enable_csr_cache and not self._reuse_counted:
                 self._reuse_counted = True
                 self._count("csr_cache_hits")
             return
         key = (self.curr_time, self.snapshot_version)
         if self.enable_csr_cache:
-            cached = self._csr_cache.get(key)
-            if cached is not None:
-                self._csr_cache.move_to_end(key)
-                self._fwd, self._bwd = cached.fwd, cached.bwd
-                self._in_deg, self._out_deg = cached.in_deg, cached.out_deg
-                self._dirty = False
+            snap, from_prefetch = self._csr_cache.get(key)
+            if (
+                snap is None
+                and self._prefetch_active
+                and self._csr_cache.inflight(self.curr_time)
+            ):
+                with current_device().profiler.phase("prefetch_wait"):
+                    self._csr_cache.wait_not_inflight(self.curr_time, timeout=_PREFETCH_WAIT_TIMEOUT)
+                snap, from_prefetch = self._csr_cache.get(key)
+            if snap is not None:
+                self._install(snap, key[1])
+                if from_prefetch:
+                    self._count("prefetch_hits")
                 if not self._reuse_counted:
                     self._reuse_counted = True
                     self._count("csr_cache_hits")
                 return
-        self._rebuild()
+        snap = self._rebuild()
         if not self._reuse_counted:
             self._reuse_counted = True
             self._count("csr_cache_misses")
+            if self._prefetch_active:
+                self._count("prefetch_misses")
         if self.enable_csr_cache:
-            self._csr_cache[key] = _BuiltSnapshot(self._fwd, self._bwd, self._in_deg, self._out_deg)
-            self._csr_cache.move_to_end(key)
-            while len(self._csr_cache) > self.csr_cache_size:
-                self._csr_cache.popitem(last=False)
+            self._csr_cache.put(key, snap)
 
     def forward_csr(self) -> CSR:
         """Current snapshot's reverse CSR (Algorithm 3 over the gapped storage)."""
@@ -412,7 +418,10 @@ class GPMAGraph(STGraphBase):
 
     @property
     def num_edges(self) -> int:
-        """Edge count of the snapshot the PMA currently holds."""
+        """Edge count of the logically current snapshot (built artifacts
+        when installed, else the physical PMA — identical serially)."""
+        if self._built_version == self._pos_version and self._bwd is not None:
+            return self._bwd.num_edges
         return self.pma.n_items
 
     def storage_bytes(self) -> int:

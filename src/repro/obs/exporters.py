@@ -40,26 +40,31 @@ def chrome_trace(tracer: "Tracer", tid: int = 1) -> dict:
     Every completed span becomes a matched ``B``/``E`` pair; instants become
     ``i`` events.  Events are emitted sorted by timestamp with ``E`` before
     ``B`` on ties, which is the ordering the Trace Event format requires for
-    well-nested stacks.
+    well-nested stacks.  Spans recorded on worker threads carry the tracer's
+    per-thread lane in ``SpanEvent.tid`` (the prefetch scheduler's
+    ``prefetch.snapshot`` spans land on lane 2+), so overlap with the main
+    lane is visible as parallel tracks; ``tid`` here only renames lane 1.
     """
     raw: list[tuple[float, int, dict]] = []
+    lanes = {1: tid}
     for e in tracer.events:
+        lane = lanes.setdefault(getattr(e, "tid", 1), e.tid)
         ts_us = e.ts * 1e6
         if e.dur is None:
             raw.append((ts_us, 1, {
                 "name": e.name, "cat": e.cat or "instant", "ph": "i", "s": "t",
-                "ts": round(ts_us, 3), "pid": _PID, "tid": tid,
+                "ts": round(ts_us, 3), "pid": _PID, "tid": lane,
                 "args": e.args,
             }))
             continue
         end_us = (e.ts + e.dur) * 1e6
         raw.append((ts_us, 1, {
             "name": e.name, "cat": e.cat or "span", "ph": "B",
-            "ts": round(ts_us, 3), "pid": _PID, "tid": tid, "args": e.args,
+            "ts": round(ts_us, 3), "pid": _PID, "tid": lane, "args": e.args,
         }))
         raw.append((end_us, 0, {
             "name": e.name, "cat": e.cat or "span", "ph": "E",
-            "ts": round(end_us, 3), "pid": _PID, "tid": tid,
+            "ts": round(end_us, 3), "pid": _PID, "tid": lane,
         }))
     raw.sort(key=lambda item: (item[0], item[1]))
     events = [
@@ -68,6 +73,11 @@ def chrome_trace(tracer: "Tracer", tid: int = 1) -> dict:
             "args": {"name": f"repro:{tracer.name}"},
         }
     ]
+    for lane_id in sorted(set(lanes.values()) - {tid}):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": lane_id,
+            "args": {"name": f"prefetch-{lane_id}"},
+        })
     events.extend(item[2] for item in raw)
     return {
         "traceEvents": events,

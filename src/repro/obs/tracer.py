@@ -37,24 +37,36 @@ B/E pairs).
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Any, Iterator
+
+from repro.util.ctxstack import ContextStack
 
 __all__ = ["SpanEvent", "Tracer", "NullTracer", "NULL_TRACER", "current_tracer", "use_tracer"]
 
 
 class SpanEvent:
-    """One completed span (or instant event, when ``dur`` is None)."""
+    """One completed span (or instant event, when ``dur`` is None).
 
-    __slots__ = ("name", "cat", "ts", "dur", "depth", "args")
+    ``tid`` is the tracer-assigned lane of the thread that emitted the
+    event: 1 for the thread that created the tracer (the training loop),
+    2+ for worker threads (e.g. the prefetch scheduler's ``prefetch.*``
+    spans), so the Chrome export shows overlap as parallel tracks.
+    """
 
-    def __init__(self, name: str, cat: str, ts: float, dur: float | None, depth: int, args: dict) -> None:
+    __slots__ = ("name", "cat", "ts", "dur", "depth", "args", "tid")
+
+    def __init__(
+        self, name: str, cat: str, ts: float, dur: float | None, depth: int, args: dict, tid: int = 1
+    ) -> None:
         self.name = name
         self.cat = cat
         self.ts = ts  # seconds since the tracer's epoch
         self.dur = dur  # seconds; None for instant events
         self.depth = depth
         self.args = args
+        self.tid = tid
 
     def to_dict(self) -> dict:
         """Flat JSON-friendly form (the JSONL exporter's row)."""
@@ -66,6 +78,8 @@ class SpanEvent:
         }
         if self.dur is not None:
             d["dur_us"] = round(self.dur * 1e6, 3)
+        if self.tid != 1:
+            d["tid"] = self.tid
         if self.args:
             d["args"] = self.args
         return d
@@ -149,8 +163,17 @@ class Tracer:
         self.max_events = int(max_events)
         self.events: list[SpanEvent] = []
         self.dropped_events = 0
-        self._open: list[_OpenSpan] = []
         self._epoch = time.perf_counter()
+        # Open-span stacks are per-thread: a span opened on a worker thread
+        # (the prefetch scheduler) nests under that thread's own spans and
+        # can never corrupt the main thread's stack.  Completed events and
+        # the two aggregates are shared, merged under one lock.
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._main_ident = threading.get_ident()
+        # thread ident -> display lane (1 = creating thread, 2+ = workers)
+        self._lanes: dict[int, int] = {self._main_ident: 1}
+        self._next_lane = 2
         # cat -> accumulated self seconds (duration minus child time)
         self._cat_seconds: dict[str, float] = {}
         # name -> [calls, inclusive seconds]
@@ -162,6 +185,23 @@ class Tracer:
         from repro.device import current_device
 
         return current_device()
+
+    def _open_stack(self) -> list:
+        stack = getattr(self._tls, "open", None)
+        if stack is None:
+            stack = []
+            self._tls.open = stack
+        return stack
+
+    def _lane(self) -> int:
+        ident = threading.get_ident()
+        lane = self._lanes.get(ident)
+        if lane is None:
+            with self._lock:
+                lane = self._lanes.setdefault(ident, self._next_lane)
+                if lane == self._next_lane:
+                    self._next_lane += 1
+        return lane
 
     @contextlib.contextmanager
     def span(self, name: str, cat: str = "", **args: Any) -> Iterator[None]:
@@ -175,8 +215,10 @@ class Tracer:
             device.profiler.counters_snapshot(),
             args,
         )
-        self._open.append(open_span)
-        self.max_depth = max(self.max_depth, len(self._open))
+        stack = self._open_stack()
+        stack.append(open_span)
+        if len(stack) > self.max_depth:
+            self.max_depth = len(stack)
         try:
             yield
         except BaseException as exc:
@@ -187,75 +229,83 @@ class Tracer:
 
     def _close(self, open_span: _OpenSpan, device) -> None:
         end = time.perf_counter()
+        stack = self._open_stack()
         # Close everything down to (and including) this span: a child left
         # open by non-contextmanager misuse must not orphan the stack.
-        while self._open:
-            top = self._open.pop()
+        while stack:
+            top = stack.pop()
             if top is open_span:
                 break
             top.args.setdefault("error", "unclosed-child")
-            self._record_closed(top, end, device, depth=len(self._open) + 1)
-        self._record_closed(open_span, end, device, depth=len(self._open))
+            self._record_closed(top, end, device, stack, depth=len(stack) + 1)
+        self._record_closed(open_span, end, device, stack, depth=len(stack))
 
-    def _record_closed(self, span: _OpenSpan, end: float, device, depth: int) -> None:
+    def _record_closed(self, span: _OpenSpan, end: float, device, stack: list, depth: int) -> None:
         dur = end - span.start
         self_seconds = max(0.0, dur - span.child_seconds)
-        if self._open:
-            self._open[-1].child_seconds += dur
+        if stack:
+            stack[-1].child_seconds += dur
         key = span.cat or span.name
-        self._cat_seconds[key] = self._cat_seconds.get(key, 0.0) + self_seconds
-        tot = self._name_totals.get(span.name)
-        if tot is None:
-            self._name_totals[span.name] = [1, dur]
-        else:
-            tot[0] += 1
-            tot[1] += dur
-        if not self.keep_events:
-            return
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        args = span.args
-        mem_exit = device.tracker.current_bytes
-        if mem_exit != span.mem_enter:
-            args["mem_delta_bytes"] = mem_exit - span.mem_enter
-        args["mem_bytes"] = mem_exit
-        counters_exit = device.profiler.counters_snapshot()
-        for cname, value in counters_exit.items():
-            delta = value - span.counters_enter.get(cname, 0)
-            if delta:
-                args[f"d_{cname}"] = delta
-        self.events.append(
-            SpanEvent(span.name, span.cat, span.start - self._epoch, dur, depth, args)
-        )
+        keep = self.keep_events
+        if keep:
+            args = span.args
+            mem_exit = device.tracker.current_bytes
+            if mem_exit != span.mem_enter:
+                args["mem_delta_bytes"] = mem_exit - span.mem_enter
+            args["mem_bytes"] = mem_exit
+            counters_exit = device.profiler.counters_snapshot()
+            for cname, value in counters_exit.items():
+                delta = value - span.counters_enter.get(cname, 0)
+                if delta:
+                    args[f"d_{cname}"] = delta
+            event = SpanEvent(span.name, span.cat, span.start - self._epoch, dur, depth, args, self._lane())
+        with self._lock:
+            self._cat_seconds[key] = self._cat_seconds.get(key, 0.0) + self_seconds
+            tot = self._name_totals.get(span.name)
+            if tot is None:
+                self._name_totals[span.name] = [1, dur]
+            else:
+                tot[0] += 1
+                tot[1] += dur
+            if not keep:
+                return
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(event)
 
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         """Record a point-in-time event (e.g. a state-stack push)."""
         if not self.keep_events:
             return
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        self.events.append(
-            SpanEvent(name, cat, time.perf_counter() - self._epoch, None, len(self._open), args)
+        event = SpanEvent(
+            name, cat, time.perf_counter() - self._epoch, None, len(self._open_stack()), args, self._lane()
         )
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(event)
 
     # ------------------------------------------------------------------
     @property
     def open_span_count(self) -> int:
-        """Spans currently open (0 after any balanced — or failed — region)."""
-        return len(self._open)
+        """Spans open on the *calling thread* (0 after any balanced — or
+        failed — region); other threads' open spans are invisible here."""
+        return len(self._open_stack())
 
     def aggregate_by_cat(self) -> dict[str, float]:
         """Accumulated *self* seconds per category (no double counting)."""
-        return dict(self._cat_seconds)
+        with self._lock:
+            return dict(self._cat_seconds)
 
     def aggregate_by_name(self) -> dict[str, dict]:
         """Per-span-name call count and inclusive seconds."""
-        return {
-            name: {"calls": calls, "seconds": seconds}
-            for name, (calls, seconds) in self._name_totals.items()
-        }
+        with self._lock:
+            return {
+                name: {"calls": calls, "seconds": seconds}
+                for name, (calls, seconds) in self._name_totals.items()
+            }
 
     def span_events(self) -> list[SpanEvent]:
         """Completed duration events only (instants excluded)."""
@@ -263,22 +313,23 @@ class Tracer:
 
 
 # ---------------------------------------------------------------------------
-# Current-tracer plumbing (mirrors repro.device.use_device)
+# Current-tracer plumbing (shared ContextStack; mirrors repro.device.use_device)
 # ---------------------------------------------------------------------------
-_STACK: list[Tracer | NullTracer] = [NULL_TRACER]
+_STACK: ContextStack[Tracer | NullTracer] = ContextStack(NULL_TRACER)
 
 
 def current_tracer() -> Tracer | NullTracer:
-    """The innermost active tracer (the no-op :data:`NULL_TRACER` by default)."""
-    return _STACK[-1]
+    """The innermost active tracer (the no-op :data:`NULL_TRACER` by default).
+
+    Per-thread: a worker thread traces nothing unless a tracer is installed
+    on that thread with :func:`use_tracer`.
+    """
+    return _STACK.current()
 
 
 @contextlib.contextmanager
 def use_tracer(tracer: Tracer | NullTracer | None) -> Iterator[Tracer | NullTracer]:
     """Run a block with ``tracer`` active; ``None`` keeps tracing disabled."""
     t = tracer if tracer is not None else NULL_TRACER
-    _STACK.append(t)
-    try:
+    with _STACK.use(t):
         yield t
-    finally:
-        _STACK.pop()

@@ -45,6 +45,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.util.ctxstack import ContextStack
+
 __all__ = [
     "BOUNDARY",
     "FAULT_KINDS",
@@ -344,14 +346,21 @@ class NullInjector:
 NULL_INJECTOR = NullInjector()
 
 # ---------------------------------------------------------------------------
-# Current-injector plumbing (mirrors repro.obs.tracer / repro.device)
+# Current-injector plumbing (shared ContextStack; mirrors repro.obs.tracer /
+# repro.device)
 # ---------------------------------------------------------------------------
-_STACK: list[FaultInjector | NullInjector] = [NULL_INJECTOR]
+_STACK: ContextStack[FaultInjector | NullInjector] = ContextStack(NULL_INJECTOR)
 
 
 def current_injector() -> FaultInjector | NullInjector:
-    """The innermost active injector (:data:`NULL_INJECTOR` by default)."""
-    return _STACK[-1]
+    """The innermost active injector (:data:`NULL_INJECTOR` by default).
+
+    Per-thread: fault sites never fire on a worker thread unless an injector
+    is installed there — the prefetch scheduler deliberately leaves its
+    worker uninstrumented so planned faults keep their positional meaning on
+    the training loop's cursor.
+    """
+    return _STACK.current()
 
 
 @contextlib.contextmanager
@@ -367,8 +376,5 @@ def use_fault_plan(plan: FaultPlan | FaultInjector | None) -> Iterator[FaultInje
         injector = plan
     else:
         injector = FaultInjector(plan)
-    _STACK.append(injector)
-    try:
+    with _STACK.use(injector):
         yield injector
-    finally:
-        _STACK.pop()

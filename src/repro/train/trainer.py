@@ -57,6 +57,7 @@ class STGraphTrainer:
         sequence_length: int | None = None,
         task: str = "regression",
         link_samples: Sequence[LinkSamples] | None = None,
+        pipeline: int = 0,
     ) -> None:
         if task not in ("regression", "link_prediction"):
             raise ValueError(f"unknown task {task!r}")
@@ -68,7 +69,10 @@ class STGraphTrainer:
         self.sequence_length = sequence_length
         self.task = task
         self.link_samples = link_samples
-        self.executor = TemporalExecutor(graph)
+        # pipeline = prefetch staleness bound (0 = strictly serial; k >= 1
+        # builds up to k future snapshots on a worker thread).  Numerics are
+        # identical either way — see docs/EXECUTOR.md §Pipelined execution.
+        self.executor = TemporalExecutor(graph, pipeline=pipeline)
         self.epoch_times: list[float] = []
         #: checkpoint path this run resumed from (None for a fresh run);
         #: surfaced in the RunManifest's ``resumed_from`` field.
@@ -168,9 +172,15 @@ class STGraphTrainer:
         checkpoint_path: str | pathlib.Path | None = None,
         checkpoint_every: int = 1,
         resume: bool = False,
+        pipeline: int | None = None,
     ) -> list[float]:
         """Run ``epochs`` epochs; the first ``warmup`` epoch times are
         dropped from :attr:`epoch_times` (GPU-warm-up convention, §VII).
+
+        ``pipeline`` (when not None) overrides the constructor's staleness
+        bound for this call.  The prefetch worker, if one was started, is
+        always shut down before this method returns — a pipelined ``train()``
+        never leaks a thread.
 
         With ``checkpoint_path`` the run writes an atomic training
         checkpoint every ``checkpoint_every``-th sequence boundary (always
@@ -183,6 +193,29 @@ class STGraphTrainer:
         round-trips exactly through the checkpoint's JSON meta).
         """
         self.resumed_from = None
+        if pipeline is not None:
+            self.executor.set_pipeline(int(pipeline))
+        try:
+            return self._train_impl(
+                features, targets, epochs, warmup,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+        finally:
+            self.executor.shutdown()
+
+    def _train_impl(
+        self,
+        features,
+        targets,
+        epochs: int,
+        warmup: int,
+        *,
+        checkpoint_path: str | pathlib.Path | None,
+        checkpoint_every: int,
+        resume: bool,
+    ) -> list[float]:
         if checkpoint_path is None:
             if resume:
                 raise ValueError("resume=True requires checkpoint_path")

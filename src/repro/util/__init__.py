@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependencies on the rest of the framework."""
+
+from repro.util.ctxstack import ContextStack
+
+__all__ = ["ContextStack"]

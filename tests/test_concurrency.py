@@ -1,0 +1,254 @@
+"""Thread-safety of the structures the prefetch worker touches.
+
+Pipelined execution puts a second thread inside the framework: the
+PrefetchScheduler's worker builds snapshots while the training thread
+computes.  These tests hammer the shared structures directly — the plan
+cache's hit/miss counters, the tracer's per-thread span stacks, the
+profiler's counters — and exercise the lifecycle edge that matters for
+resilience: a simulated kill arriving mid-prefetch must drain the queue
+and leave no dangling thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiler.plan import PlanCache
+from repro.core.executor import TemporalExecutor
+from repro.dataset import load_sx_mathoverflow
+from repro.device import Device, use_device
+from repro.obs.tracer import Tracer, use_tracer
+from repro.resilience import FaultPlan, FaultSite, SimulatedKill, use_fault_plan
+from repro.tensor import init
+from repro.train import STGraphLinkPredictor, STGraphTrainer, make_link_prediction_samples
+
+
+def _prefetch_threads() -> list[threading.Thread]:
+    return [t for t in threading.enumerate() if t.name.startswith("repro-prefetch")]
+
+
+# ---------------------------------------------------------------------------
+# PlanCache under contention
+# ---------------------------------------------------------------------------
+def test_plan_cache_exact_counters_under_thread_hammer():
+    """N threads requesting the same plan: one build, exact hit/miss totals."""
+    cache = PlanCache()
+    n_threads, n_iters = 8, 25
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def prog(v):
+        return v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm
+
+    def hammer():
+        try:
+            barrier.wait()
+            for _ in range(n_iters):
+                cache.get_or_build(
+                    prog, feature_widths={"h": "v", "norm": "s"}, name="hammer"
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    total = n_threads * n_iters
+    # Identical requests share one structural key: exactly one miss (the
+    # single build, done under the lock) and hits for everything else.
+    assert cache.misses == 1
+    assert cache.hits == total - 1
+    assert len(cache) == 1
+
+
+def test_plan_cache_distinct_keys_partition_counters():
+    """Disjoint keys from concurrent threads: misses == unique keys, exact sums."""
+    cache = PlanCache()
+    n_threads, n_iters = 6, 10
+    barrier = threading.Barrier(n_threads)
+
+    def make_prog(n: int):
+        # n extra multiplications → n structurally distinct trace signatures.
+        def prog(v):
+            out = v.agg_sum(lambda nb: nb.h)
+            for _ in range(n + 1):
+                out = out * v.norm
+            return out
+        return prog
+
+    progs = [make_prog(i) for i in range(n_threads)]
+
+    def hammer(i: int):
+        barrier.wait()
+        for _ in range(n_iters):
+            cache.get_or_build(
+                progs[i], feature_widths={"h": "v", "norm": "s"}, name=f"p{i}"
+            )
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.misses == n_threads
+    assert cache.hits == n_threads * (n_iters - 1)
+    assert cache.hits + cache.misses == n_threads * n_iters
+
+
+# ---------------------------------------------------------------------------
+# Tracer: per-thread span stacks
+# ---------------------------------------------------------------------------
+def test_worker_thread_spans_never_corrupt_main_stack():
+    """Spans opened/closed on a worker interleave with an open main-thread
+    span without touching the main thread's stack, and land on their own
+    Chrome lane (tid 2)."""
+    tracer = Tracer(name="threaded")
+    device = Device(name="threaded")
+    done = threading.Event()
+    go = threading.Event()
+
+    def worker():
+        with use_device(device), use_tracer(tracer):
+            go.wait()
+            for i in range(50):
+                with tracer.span("worker.op", "prefetch", i=i):
+                    pass
+        done.set()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    with use_device(device), use_tracer(tracer):
+        with tracer.span("main.outer", "train"):
+            assert tracer.open_span_count == 1
+            go.set()
+            done.wait()
+            # The worker opened and closed 50 spans; this thread's stack
+            # must still hold exactly its own open span.
+            assert tracer.open_span_count == 1
+    t.join()
+    assert tracer.open_span_count == 0
+    by_name = tracer.aggregate_by_name()
+    assert by_name["worker.op"]["calls"] == 50
+    assert by_name["main.outer"]["calls"] == 1
+    tids = {e.tid for e in tracer.events if e.name == "worker.op"}
+    assert tids == {2}
+    assert {e.tid for e in tracer.events if e.name == "main.outer"} == {1}
+
+
+def test_tracer_aggregates_exact_under_concurrent_spans():
+    """Span-name call counts stay exact when many threads record at once."""
+    tracer = Tracer(name="hammer", keep_events=False)
+    device = Device(name="hammer")
+    n_threads, n_spans = 8, 100
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        with use_device(device), use_tracer(tracer):
+            barrier.wait()
+            for _ in range(n_spans):
+                with tracer.span("op", "cat"):
+                    pass
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert tracer.aggregate_by_name()["op"]["calls"] == n_threads * n_spans
+
+
+def test_profiler_counters_exact_under_concurrent_counts():
+    """Profiler event counters accumulate exactly across threads."""
+    device = Device(name="counters")
+    n_threads, n_counts = 8, 200
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait()
+        for _ in range(n_counts):
+            device.profiler.count("hammered")
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert device.profiler.counter("hammered") == n_threads * n_counts
+
+
+# ---------------------------------------------------------------------------
+# Kill mid-prefetch: queue drained, no dangling thread
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def dynamic_workload():
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=8)
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=32, seed=0)
+    return ds, samples
+
+
+def test_kill_mid_prefetch_drains_and_joins_worker(dynamic_workload):
+    """A planned kill during a pipelined run unwinds the executor AND fully
+    stops the prefetch worker: queue drained, thread joined, no leak."""
+    ds, samples = dynamic_workload
+    plan = FaultPlan(
+        name="kill-pipelined",
+        sites=[FaultSite(kind="kill", epoch=0, sequence=1, timestamp=4)],
+    )
+    with use_device(Device(name="kill-pipe")), use_fault_plan(plan):
+        init.set_seed(0)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=2,
+        )
+        with pytest.raises(SimulatedKill):
+            trainer.train(ds.features, epochs=2)
+        trainer.executor.check_drained()
+    assert _prefetch_threads() == []
+    prefetcher = trainer.executor.prefetcher
+    if prefetcher is not None:
+        assert not prefetcher.running
+        assert prefetcher.stats()["prefetch_pending"] == 0
+    # The graph is back in strictly-serial accounting mode.
+    assert trainer.graph._prefetch_active is False
+
+
+def test_abort_sequence_stops_worker_directly(dynamic_workload):
+    """Executor-level abort (no trainer) also joins the worker."""
+    ds, _ = dynamic_workload
+    with use_device(Device(name="abort-pipe")):
+        graph = ds.build_gpma()
+        ex = TemporalExecutor(graph, pipeline=3)
+        for t in range(3):
+            ex.begin_timestamp(t)
+        assert ex.prefetcher is not None and ex.prefetcher.running
+        ex.abort_sequence()
+        assert not ex.prefetcher.running
+        assert ex.prefetcher.stats()["prefetch_pending"] == 0
+        assert _prefetch_threads() == []
+        # Pipelining resumes lazily after the abort.
+        ex.reset()
+        ex.begin_timestamp(0)
+        assert ex.prefetcher.running
+        ex.shutdown()
+        assert ex.prefetcher is None
+        assert _prefetch_threads() == []
+
+
+def test_trainer_shutdown_never_leaks_worker(dynamic_workload):
+    """A successful pipelined train() leaves no prefetch thread behind."""
+    ds, samples = dynamic_workload
+    with use_device(Device(name="clean-pipe")):
+        init.set_seed(0)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=2,
+        )
+        trainer.train(ds.features, epochs=1)
+    assert _prefetch_threads() == []

@@ -1,0 +1,134 @@
+"""Pipelined execution is a pure wall-clock optimization: the differential.
+
+The staleness knob must never move the numbers.  A prefetched snapshot is
+built by replaying the same update batches against the same shared version
+map as the main thread would, so at *any* staleness the per-epoch losses
+are bitwise identical to the strictly serial run (``pipeline=0``, which
+never even creates the worker thread).  CI runs a smoke slice of this
+module as the gating pipeline-differential step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import DYNAMIC_DATASETS
+from repro.device import Device, use_device
+from repro.tensor import init
+from repro.train import STGraphLinkPredictor, STGraphTrainer, make_link_prediction_samples
+
+_SEED = 0
+_EPOCHS = 3
+
+
+def _losses(ds, samples, pipeline: int, epochs: int = _EPOCHS) -> list[float]:
+    """Per-epoch losses of one seeded run on a fresh device/trainer/graph."""
+    with use_device(Device(name=f"pipe{pipeline}")):
+        init.set_seed(_SEED)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=pipeline,
+        )
+        return trainer.train(ds.features, epochs=epochs)
+
+
+@pytest.fixture(scope="module", params=["sx-mathoverflow", "reddit-title"])
+def workload(request):
+    ds = DYNAMIC_DATASETS[request.param](scale=0.02, feature_size=8, max_snapshots=8)
+    samples = make_link_prediction_samples(ds.dtdg, samples_per_timestamp=32, seed=_SEED)
+    return ds, samples
+
+
+@pytest.mark.parametrize("staleness", [1, 2, 4])
+def test_pipelined_losses_bitwise_equal_serial(workload, staleness):
+    """Any staleness ≥ 1 reproduces the serial per-epoch losses bitwise."""
+    ds, samples = workload
+    serial = _losses(ds, samples, pipeline=0)
+    piped = _losses(ds, samples, pipeline=staleness)
+    assert len(serial) == len(piped) == _EPOCHS
+    assert all(np.float64(a) == np.float64(b) for a, b in zip(serial, piped)), (
+        f"staleness={staleness} diverged: {serial} vs {piped}"
+    )
+
+
+def test_pipelined_run_is_deterministic_across_repeats(workload):
+    """Two seeded pipelined runs agree bitwise with each other (no
+    thread-timing dependence leaks into the numerics)."""
+    ds, samples = workload
+    first = _losses(ds, samples, pipeline=2)
+    second = _losses(ds, samples, pipeline=2)
+    assert all(np.float64(a) == np.float64(b) for a, b in zip(first, second))
+
+
+def test_pipeline_zero_never_starts_a_worker(workload):
+    """staleness 0 is strictly serial: no scheduler object is ever created."""
+    ds, samples = workload
+    with use_device(Device(name="serial")):
+        init.set_seed(_SEED)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples,
+        )
+        trainer.train(ds.features, epochs=1)
+        assert trainer.executor.prefetcher is None
+        assert trainer.graph._prefetch_active is False
+        assert trainer.graph.prefetch_hits == 0
+        assert trainer.graph.prefetch_misses == 0
+
+
+def test_prefetch_hits_are_counted_when_pipelined(workload):
+    """A pipelined run actually consumes staged snapshots (hits > 0) and its
+    hit/miss accounting reaches the device profiler."""
+    ds, samples = workload
+    with use_device(Device(name="counted")) as device:
+        init.set_seed(_SEED)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=2,
+        )
+        trainer.train(ds.features, epochs=_EPOCHS)
+        assert trainer.graph.prefetch_hits > 0
+        assert device.profiler.counter("prefetch_hits") == trainer.graph.prefetch_hits
+        assert device.profiler.counter("prefetch_misses") == trainer.graph.prefetch_misses
+
+
+def test_kill_and_resume_composes_with_pipeline(tmp_path, workload):
+    """Kill a pipelined run mid-epoch, resume pipelined in a fresh "process":
+    final losses stay bitwise equal to the uninterrupted *serial* run (the
+    version-map restore invalidates the builder's private cursor via the
+    builder epoch, so resumed prefetch keys match the recorded ones)."""
+    from repro.resilience import FaultPlan, FaultSite, SimulatedKill, use_fault_plan
+
+    ds, samples = workload
+    reference = _losses(ds, samples, pipeline=0)
+    ckpt = tmp_path / "pipe.npz"
+    plan = FaultPlan(
+        name="kill-pipe",
+        sites=[FaultSite(kind="kill", epoch=1, sequence=1, timestamp=4)],
+    )
+    with use_device(Device(name="pipe-ckpt-a")), use_fault_plan(plan):
+        init.set_seed(_SEED)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=2,
+        )
+        with pytest.raises(SimulatedKill):
+            trainer.train(ds.features, epochs=_EPOCHS, checkpoint_path=ckpt)
+    assert ckpt.exists()
+    with use_device(Device(name="pipe-ckpt-b")):
+        init.set_seed(_SEED)
+        model = STGraphLinkPredictor(ds.feature_size, 8)
+        trainer = STGraphTrainer(
+            model, ds.build_gpma(), lr=1e-2, sequence_length=3,
+            task="link_prediction", link_samples=samples, pipeline=2,
+        )
+        losses = trainer.train(
+            ds.features, epochs=_EPOCHS, checkpoint_path=ckpt, resume=True
+        )
+    assert len(losses) == _EPOCHS
+    assert all(np.float64(a) == np.float64(b) for a, b in zip(losses, reference))
