@@ -12,7 +12,9 @@ Commands
     timing, and memory.  ``--system pygt`` runs the baseline instead.
     ``--checkpoint runs/ck.npz`` checkpoints atomically at every sequence
     boundary; adding ``--resume`` restores from the checkpoint and
-    continues to bitwise-identical final losses.
+    continues to bitwise-identical final losses.  ``--engine compiled``
+    runs every aggregation on the machine-code tier (``docs/COMPILER.md``
+    §10); engines never change the numbers, only the speed.
 ``chaos --plan smoke``
     Train a small DTDG workload under a named (or JSON) fault plan with
     kill/resume through boundary checkpoints, and verify the resilience
@@ -129,6 +131,21 @@ def _trace_base(trace_path: str) -> str:
     return trace_path[:-5] if trace_path.endswith(".json") else trace_path
 
 
+def _resolve_engine(name: str | None) -> str | None:
+    """Validate an ``--engine`` value early: a typo (``--engine copiled``)
+    exits non-zero with the registry's available-engines message instead of
+    surfacing a traceback mid-run."""
+    if name is None:
+        return None
+    from repro.core.engine import get_engine
+
+    try:
+        get_engine(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    return name
+
+
 def _write_trace_artifacts(
     tracer,
     device,
@@ -180,12 +197,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     checkpoint_path = getattr(args, "checkpoint", None)
     resume = bool(getattr(args, "resume", False))
     pipeline = int(getattr(args, "pipeline", 0) or 0)
+    engine = _resolve_engine(getattr(args, "engine", None))
     if resume and checkpoint_path is None:
         raise SystemExit("--resume requires --checkpoint PATH")
     if checkpoint_path is not None and args.system == "pygt":
         raise SystemExit("--checkpoint/--resume are STGraph-only; the pygt baseline has no resume path")
     if pipeline and args.system == "pygt":
         raise SystemExit("--pipeline is STGraph-only; the pygt baseline has no snapshot prefetch")
+    if engine and args.system == "pygt":
+        raise SystemExit("--engine is STGraph-only; the pygt baseline has no execution engines")
     tracer = Tracer(name=f"train:{args.dataset}:{args.model}") if trace_path else None
     device = Device(name="cli")
     with use_device(device), use_tracer(tracer):
@@ -207,7 +227,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 trainer = STGraphTrainer(
                     model, ds.build_graph(), lr=args.lr,
                     sequence_length=args.sequence_length,
-                    pipeline=pipeline,
+                    pipeline=pipeline, engine=engine,
                 )
             if checkpoint_path is not None:
                 losses = trainer.train(
@@ -229,7 +249,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 model, ds.build_gpma(), lr=args.lr,
                 sequence_length=args.sequence_length,
                 task="link_prediction", link_samples=samples,
-                pipeline=pipeline,
+                pipeline=pipeline, engine=engine,
             )
             if checkpoint_path is not None:
                 losses = trainer.train(
@@ -293,6 +313,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"or a path to a fault-plan JSON file"
         )
 
+    engine = _resolve_engine(getattr(args, "engine", None))
     trace_path = getattr(args, "trace", None)
     tracer = Tracer(name=f"chaos:{plan.name}") if trace_path else None
     report = run_chaos(
@@ -305,6 +326,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         workdir=args.workdir,
         tracer=tracer,
+        engine=engine,
     )
     print(report.render())
     if args.json:
@@ -331,6 +353,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if getattr(args, "pipeline", None) is not None:
         os.environ["REPRO_BENCH_PIPELINE"] = str(int(args.pipeline))
+    engine = _resolve_engine(getattr(args, "engine", None))
+    if engine is not None:
+        os.environ["REPRO_BENCH_ENGINE"] = engine
     trace_path = getattr(args, "trace", None)
     tracer = Tracer(name=f"bench:{args.experiment}") if trace_path else None
     start = time.perf_counter()
@@ -498,6 +523,9 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--pipeline", type=int, default=0, metavar="K",
                          help="prefetch staleness: build up to K future snapshots on a "
                               "worker thread (0 = strictly serial; numerics unchanged)")
+    p_train.add_argument("--engine", default=None, metavar="NAME",
+                         help="execution engine override (kernel, interpreter, compiled); "
+                              "all engines are bitwise-identical — this is a speed knob")
     p_train.add_argument("--resume", action="store_true",
                          help="resume from --checkpoint if it exists (bitwise-identical losses)")
 
@@ -512,6 +540,9 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=0)
     p_chaos.add_argument("--workdir", default=None,
                          help="directory for the chaos checkpoint (default: a fresh temp dir)")
+    p_chaos.add_argument("--engine", default=None, metavar="NAME",
+                         help="execution engine for the chaos run (e.g. compiled exercises "
+                              "the compiled → kernel → interpreter degradation ladder)")
     p_chaos.add_argument("--json", metavar="OUT.json", default=None,
                          help="write the full ChaosReport (manifest inlined) as JSON")
     p_chaos.add_argument("--trace", metavar="OUT.json", default=None,
@@ -522,6 +553,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--pipeline", type=int, default=None, metavar="K",
                          help="prefetch staleness for GPMA cells (overrides "
                               "REPRO_BENCH_PIPELINE for this invocation)")
+    p_bench.add_argument("--engine", default=None, metavar="NAME",
+                         help="execution engine for STGraph cells (sets REPRO_BENCH_ENGINE "
+                              "for this invocation)")
     p_bench.add_argument("--trace", metavar="OUT.json", default=None,
                          help="trace the experiment; writes the same artifact set as train --trace")
 

@@ -1,0 +1,663 @@
+"""Native (machine-code) CSR aggregation kernels for the compiled engine.
+
+The Seastar design in the paper wins its speed from *compiled* vertex-centric
+kernels; :class:`~repro.core.engine.CompiledEngine` is our analogue of that
+tier.  This module supplies its machine-code inner loops: the CSR
+gather/scatter-reduce primitives (``spmm``/``spmm_T``, ``segment_sum``,
+``scatter_src``, ``gather_src``/``gather_dst``) re-implemented as tight
+sequential loops and compiled to native code through one of two toolchains:
+
+* **numba** — ``@njit``-compiled loops (LLVM), picked when :mod:`numba`
+  imports cleanly.
+* **c** — a small C source built with the system C compiler
+  (``cc -O2 -shared -fPIC``) and bound through :mod:`cffi` in ABI mode
+  (plain :mod:`ctypes` when cffi is unavailable).
+
+Toolchain selection is process-wide and memoized (:func:`native_backend`);
+``REPRO_NATIVE`` overrides it (``auto``/``numba``/``c``/``none``).  Whatever
+is selected must first pass a **bitwise self-test** against the NumPy/SciPy
+reference primitives in :mod:`repro.compiler.runtime` — the differential
+harness demands that the compiled engine's outputs equal the interpreter's
+*bitwise*, so a toolchain that cannot reproduce scipy's accumulation order
+exactly is rejected, not papered over.  The loops here are written to match
+that order: sequential float32 accumulation per CSR row (scipy's
+``csr_matvec(s)``), float64 running prefix for ``segment_sum`` (NumPy's
+``cumsum(dtype=float64)``), float64 accumulators for ``scatter_src``
+(NumPy's ``bincount``).  Degree-ordered SpMM needs no special handling: row
+permutation only reorders row *processing*, never a row's own accumulation,
+so the per-vertex results are bit-identical either way.
+
+**Cross-timestamp fusion.**  Each generated compiled driver starts with
+``G = native_graph(ctx)``: the packed, contiguity-checked structural arrays
+for one snapshot.  The pack is cached per :class:`GraphContext` (weakly, so
+lifetime follows the executor's context LRU).  When the snapshot identity is
+unchanged across timestamps the executor reuses the context, ``native_graph``
+hits, and the ``graph_update`` re-pack is fused away — the
+``compiled_fusion_hits`` / ``compiled_fusion_misses`` profiler counters make
+the fusion rate observable per run.
+
+Every ``nat_*`` primitive checks argument eligibility (dtype float32,
+C-contiguous, supported rank) per call and silently degrades to the
+reference NumPy primitive otherwise — identical numbers, just slower — so a
+compiled plan never produces wrong answers for an exotic operand.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+import weakref
+
+import numpy as np
+
+from repro.compiler.runtime import (
+    GraphContext,
+    gather_dst,
+    gather_src,
+    scatter_src,
+    segment_sum,
+    spmm,
+)
+
+__all__ = [
+    "NATIVE_NAMESPACE",
+    "NativeGraph",
+    "native_backend",
+    "native_graph",
+    "reset_native_backend",
+]
+
+
+# ---------------------------------------------------------------------------
+# C toolchain
+# ---------------------------------------------------------------------------
+#: The C inner loops.  Accumulation orders deliberately mirror the SciPy /
+#: NumPy reference primitives (see module docstring) so results are bitwise
+#: identical; the self-test enforces this before the backend is accepted.
+_C_SOURCE = """
+#include <stdint.h>
+#include <stdlib.h>
+
+/* out[i] = sum_j w[perm ? perm[j] : j] * x[col[j]] over row i's slice.
+ * w == NULL means implicit ones.  Sequential float32 accumulation per row,
+ * matching scipy's csr_matvec. */
+void spmm_vec_f32(const int64_t *rowp, const int64_t *col, const int64_t *perm,
+                  const float *w, const float *x, float *out, int64_t n) {
+    for (int64_t i = 0; i < n; i++) {
+        float acc = 0.0f;
+        for (int64_t j = rowp[i]; j < rowp[i + 1]; j++) {
+            float wj = w ? w[perm ? perm[j] : j] : 1.0f;
+            acc += wj * x[col[j]];
+        }
+        out[i] = acc;
+    }
+}
+
+/* Row-major (n, f) payload: zero the output row, then one axpy per edge —
+ * scipy's csr_matvecs accumulation order. */
+void spmm_mat_f32(const int64_t *rowp, const int64_t *col, const int64_t *perm,
+                  const float *w, const float *x, float *out,
+                  int64_t n, int64_t f) {
+    for (int64_t i = 0; i < n; i++) {
+        float *row = out + i * f;
+        for (int64_t k = 0; k < f; k++) row[k] = 0.0f;
+        for (int64_t j = rowp[i]; j < rowp[i + 1]; j++) {
+            float wj = w ? w[perm ? perm[j] : j] : 1.0f;
+            const float *src = x + col[j] * f;
+            for (int64_t k = 0; k < f; k++) row[k] += wj * src[k];
+        }
+    }
+}
+
+/* Per-destination sum of edge scalars via a float64 running prefix: CSR row
+ * offsets are monotone over 0..E, so out[i] = cs[end] - cs[start] with the
+ * same float64 prefix values numpy's cumsum produces. */
+void segment_sum_f32(const int64_t *rowp, const float *w, float *out, int64_t n) {
+    double acc = 0.0;
+    int64_t e = 0;
+    for (int64_t i = 0; i < n; i++) {
+        double start = acc;
+        int64_t end = rowp[i + 1];
+        for (; e < end; e++) acc += (double)w[e];
+        out[i] = (float)(acc - start);
+    }
+}
+
+/* Per-source sum of edge scalars with float64 accumulators (numpy bincount
+ * semantics).  Returns nonzero if the scratch allocation failed. */
+int scatter_sum_f32(const int64_t *idx, const float *g, float *out,
+                    int64_t n, int64_t e) {
+    double *acc = (double *)calloc((size_t)(n > 0 ? n : 1), sizeof(double));
+    if (!acc) return 1;
+    for (int64_t j = 0; j < e; j++) acc[idx[j]] += (double)g[j];
+    for (int64_t i = 0; i < n; i++) out[i] = (float)acc[i];
+    free(acc);
+    return 0;
+}
+
+void gather_vec_f32(const int64_t *idx, const float *x, float *out, int64_t e) {
+    for (int64_t j = 0; j < e; j++) out[j] = x[idx[j]];
+}
+
+void gather_mat_f32(const int64_t *idx, const float *x, float *out,
+                    int64_t e, int64_t f) {
+    for (int64_t j = 0; j < e; j++) {
+        const float *src = x + idx[j] * f;
+        float *dst = out + j * f;
+        for (int64_t k = 0; k < f; k++) dst[k] = src[k];
+    }
+}
+"""
+
+_C_DECLS = """
+void spmm_vec_f32(const long long *, const long long *, const long long *,
+                  const float *, const float *, float *, long long);
+void spmm_mat_f32(const long long *, const long long *, const long long *,
+                  const float *, const float *, float *, long long, long long);
+void segment_sum_f32(const long long *, const float *, float *, long long);
+int scatter_sum_f32(const long long *, const float *, float *, long long, long long);
+void gather_vec_f32(const long long *, const float *, float *, long long);
+void gather_mat_f32(const long long *, const float *, float *, long long, long long);
+"""
+
+
+class _CBackend:
+    """cffi/ctypes bindings over the cc-built shared library."""
+
+    name = "c"
+
+    def __init__(self, lib, ffi=None) -> None:
+        self._lib = lib
+        self._ffi = ffi  # None → ctypes bindings
+
+    # -- pointer plumbing ------------------------------------------------
+    def _ptr(self, arr: np.ndarray | None, ctype: str):
+        if self._ffi is not None:
+            if arr is None:
+                return self._ffi.NULL
+            return self._ffi.cast(ctype, arr.ctypes.data)
+        import ctypes
+
+        return None if arr is None else ctypes.c_void_p(arr.ctypes.data)
+
+    def _i(self, value: int):
+        if self._ffi is not None:
+            return int(value)
+        import ctypes
+
+        return ctypes.c_longlong(int(value))
+
+    # -- kernels ---------------------------------------------------------
+    def spmm(self, rowp, col, perm, w, x, out) -> None:
+        ip, fp = "const long long *", "const float *"
+        n = self._i(rowp.shape[0] - 1)
+        if x.ndim == 1:
+            self._lib.spmm_vec_f32(
+                self._ptr(rowp, ip), self._ptr(col, ip), self._ptr(perm, ip),
+                self._ptr(w, fp), self._ptr(x, fp), self._ptr(out, "float *"), n,
+            )
+        else:
+            self._lib.spmm_mat_f32(
+                self._ptr(rowp, ip), self._ptr(col, ip), self._ptr(perm, ip),
+                self._ptr(w, fp), self._ptr(x, fp), self._ptr(out, "float *"),
+                n, self._i(x.shape[1]),
+            )
+
+    def segment_sum(self, rowp, w, out) -> None:
+        self._lib.segment_sum_f32(
+            self._ptr(rowp, "const long long *"), self._ptr(w, "const float *"),
+            self._ptr(out, "float *"), self._i(rowp.shape[0] - 1),
+        )
+
+    def scatter_sum(self, idx, g, out, n) -> bool:
+        rc = self._lib.scatter_sum_f32(
+            self._ptr(idx, "const long long *"), self._ptr(g, "const float *"),
+            self._ptr(out, "float *"), self._i(n), self._i(idx.shape[0]),
+        )
+        return int(rc) == 0
+
+    def gather(self, idx, x, out) -> None:
+        ip, fp = "const long long *", "const float *"
+        if x.ndim == 1:
+            self._lib.gather_vec_f32(
+                self._ptr(idx, ip), self._ptr(x, fp), self._ptr(out, "float *"),
+                self._i(idx.shape[0]),
+            )
+        else:
+            self._lib.gather_mat_f32(
+                self._ptr(idx, ip), self._ptr(x, fp), self._ptr(out, "float *"),
+                self._i(idx.shape[0]), self._i(x.shape[1]),
+            )
+
+
+def _build_c_backend() -> _CBackend | None:
+    """Compile the C kernels with the system compiler and bind them."""
+    cc = shutil.which(os.environ.get("CC") or "cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    tmpdir = tempfile.mkdtemp(prefix="repro_native_")
+    src = os.path.join(tmpdir, "repro_native.c")
+    sofile = os.path.join(tmpdir, "repro_native.so")
+    try:
+        with open(src, "w") as fh:
+            fh.write(_C_SOURCE)
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", sofile, src],
+            capture_output=True, timeout=120,
+        )
+        if proc.returncode != 0:
+            return None
+        try:
+            import cffi
+
+            ffi = cffi.FFI()
+            ffi.cdef(_C_DECLS)
+            lib = ffi.dlopen(sofile)
+            backend = _CBackend(lib, ffi)
+        except ImportError:
+            import ctypes
+
+            lib = ctypes.CDLL(sofile)
+            lib.scatter_sum_f32.restype = ctypes.c_int
+            backend = _CBackend(lib, None)
+        return backend
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        # The library stays mapped after dlopen; the build artifacts can go.
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# Numba toolchain
+# ---------------------------------------------------------------------------
+class _NumbaBackend:
+    """``@njit``-compiled loops, laid out identically to the C kernels.
+
+    Optional operands (weights, the backward-CSR weight permutation) are
+    passed as empty arrays plus a flag — numba specializes on array types,
+    not on None.  ``fastmath`` stays off so LLVM cannot reassociate or
+    contract the accumulations; the self-test verifies bitwise identity
+    regardless.
+    """
+
+    name = "numba"
+
+    def __init__(self, fns: dict) -> None:
+        self._f = fns
+        self._empty_w = np.empty(0, dtype=np.float32)
+        self._empty_p = np.empty(0, dtype=np.int64)
+
+    def spmm(self, rowp, col, perm, w, x, out) -> None:
+        has_w, has_p = w is not None, perm is not None
+        w = self._empty_w if w is None else w
+        perm = self._empty_p if perm is None else perm
+        key = "spmm_vec" if x.ndim == 1 else "spmm_mat"
+        self._f[key](rowp, col, perm, w, x, out, has_w, has_p)
+
+    def segment_sum(self, rowp, w, out) -> None:
+        self._f["segment_sum"](rowp, w, out)
+
+    def scatter_sum(self, idx, g, out, n) -> bool:
+        self._f["scatter_sum"](idx, g, out, int(n))
+        return True
+
+    def gather(self, idx, x, out) -> None:
+        self._f["gather_vec" if x.ndim == 1 else "gather_mat"](idx, x, out)
+
+
+def _build_numba_backend() -> _NumbaBackend | None:
+    try:
+        import numba
+    except Exception:
+        return None
+
+    jit = numba.njit(cache=False, fastmath=False)
+
+    @jit
+    def spmm_vec(rowp, col, perm, w, x, out, has_w, has_p):
+        n = rowp.shape[0] - 1
+        for i in range(n):
+            acc = np.float32(0.0)
+            for j in range(rowp[i], rowp[i + 1]):
+                if has_w:
+                    wj = w[perm[j]] if has_p else w[j]
+                else:
+                    wj = np.float32(1.0)
+                acc += wj * x[col[j]]
+            out[i] = acc
+
+    @jit
+    def spmm_mat(rowp, col, perm, w, x, out, has_w, has_p):
+        n = rowp.shape[0] - 1
+        f = x.shape[1]
+        for i in range(n):
+            for k in range(f):
+                out[i, k] = np.float32(0.0)
+            for j in range(rowp[i], rowp[i + 1]):
+                if has_w:
+                    wj = w[perm[j]] if has_p else w[j]
+                else:
+                    wj = np.float32(1.0)
+                c = col[j]
+                for k in range(f):
+                    out[i, k] += wj * x[c, k]
+
+    @jit
+    def segment_sum(rowp, w, out):
+        n = rowp.shape[0] - 1
+        acc = 0.0
+        e = 0
+        for i in range(n):
+            start = acc
+            end = rowp[i + 1]
+            while e < end:
+                acc += np.float64(w[e])
+                e += 1
+            out[i] = np.float32(acc - start)
+
+    @jit
+    def scatter_sum(idx, g, out, n):
+        acc = np.zeros(n, dtype=np.float64)
+        for j in range(idx.shape[0]):
+            acc[idx[j]] += np.float64(g[j])
+        for i in range(n):
+            out[i] = np.float32(acc[i])
+
+    @jit
+    def gather_vec(idx, x, out):
+        for j in range(idx.shape[0]):
+            out[j] = x[idx[j]]
+
+    @jit
+    def gather_mat(idx, x, out):
+        f = x.shape[1]
+        for j in range(idx.shape[0]):
+            s = idx[j]
+            for k in range(f):
+                out[j, k] = x[s, k]
+
+    fns = {
+        "spmm_vec": spmm_vec,
+        "spmm_mat": spmm_mat,
+        "segment_sum": segment_sum,
+        "scatter_sum": scatter_sum,
+        "gather_vec": gather_vec,
+        "gather_mat": gather_mat,
+    }
+    try:
+        backend = _NumbaBackend(fns)
+        # Force compilation now (and surface any lowering error) on a
+        # trivial input; the bitwise self-test follows in _resolve_backend.
+        rowp = np.array([0, 1], dtype=np.int64)
+        col = np.zeros(1, dtype=np.int64)
+        out = np.empty(1, dtype=np.float32)
+        backend.spmm(rowp, col, None, None, np.ones(1, dtype=np.float32), out)
+    except Exception:
+        return None
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# Bitwise self-test and backend resolution
+# ---------------------------------------------------------------------------
+def _self_test(backend) -> bool:
+    """Native kernels must reproduce the NumPy/SciPy reference *bitwise*."""
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(7)
+    n, e, f = 37, 180, 5
+    dst = np.sort(rng.integers(0, n, size=e)).astype(np.int64)
+    col = rng.integers(0, n, size=e).astype(np.int64)
+    rowp = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(rowp, dst + 1, 1)
+    rowp = np.cumsum(rowp).astype(np.int64)
+    w = rng.standard_normal(e).astype(np.float32)
+    perm = rng.permutation(e).astype(np.int64)
+    x1 = rng.standard_normal(n).astype(np.float32)
+    x2 = np.ascontiguousarray(rng.standard_normal((n, f)).astype(np.float32))
+    try:
+        for weights, p in ((None, None), (w, None), (w, perm)):
+            data = np.ones(e, np.float32) if weights is None else (
+                weights if p is None else weights[p]
+            )
+            mat = sp.csr_matrix((data, col, rowp), shape=(n, n))
+            for x in (x1, x2):
+                ref = mat @ x
+                out = np.empty_like(ref)
+                backend.spmm(rowp, col, p, weights, x, out)
+                if not np.array_equal(out, ref):
+                    return False
+        cs = np.concatenate([[0.0], np.cumsum(w, dtype=np.float64)])
+        ref = (cs[rowp[1:]] - cs[rowp[:-1]]).astype(np.float32)
+        out = np.empty(n, dtype=np.float32)
+        backend.segment_sum(rowp, w, out)
+        if not np.array_equal(out, ref):
+            return False
+        ref = np.bincount(col, weights=w, minlength=n).astype(np.float32)
+        out = np.empty(n, dtype=np.float32)
+        if not backend.scatter_sum(col, w, out, n) or not np.array_equal(out, ref):
+            return False
+        for x in (x1, x2):
+            ref = x[col]
+            out = np.empty_like(ref)
+            backend.gather(col, x, out)
+            if not np.array_equal(out, ref):
+                return False
+    except Exception:
+        return False
+    return True
+
+
+_UNRESOLVED = object()
+_BACKEND = _UNRESOLVED  # memoized backend object (or None)
+
+
+def _resolve_backend():
+    mode = os.environ.get("REPRO_NATIVE", "auto").strip().lower() or "auto"
+    if mode in ("none", "off", "0"):
+        return None
+    builders = {"numba": _build_numba_backend, "c": _build_c_backend}
+    if mode == "auto":
+        order = ("numba", "c")
+    elif mode in builders:
+        order = (mode,)
+    else:
+        order = ("numba", "c")
+    for name in order:
+        backend = builders[name]()
+        if backend is not None and _self_test(backend):
+            return backend
+    return None
+
+
+def _backend():
+    """The resolved native backend object (None when no toolchain)."""
+    global _BACKEND
+    if _BACKEND is _UNRESOLVED:
+        _BACKEND = _resolve_backend()
+    return _BACKEND
+
+
+def native_backend() -> str | None:
+    """The active native toolchain: ``"numba"``, ``"c"``, or None.
+
+    Resolution (toolchain probe, C build, bitwise self-test) runs once per
+    process on first call and is memoized; ``REPRO_NATIVE`` selects or
+    disables a toolchain explicitly.
+    """
+    backend = _backend()
+    return None if backend is None else backend.name
+
+
+def reset_native_backend() -> None:
+    """Forget the memoized toolchain and packed-graph cache (tests only)."""
+    global _BACKEND
+    _BACKEND = _UNRESOLVED
+    _GRAPH_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Packed graph arrays + the cross-timestamp fusion cache
+# ---------------------------------------------------------------------------
+class NativeGraph:
+    """One snapshot's structural arrays, packed for native kernels.
+
+    Guarantees int64, C-contiguous index arrays (the ``GraphContext`` arrays
+    already are; packing is a cheap validation in the common case) so the
+    native loops can consume raw pointers without per-call checks.
+    """
+
+    __slots__ = (
+        "__weakref__", "ctx", "num_nodes", "num_edges",
+        "fwd_row", "fwd_col", "bwd_row", "bwd_col", "bwd_to_fwd", "dst_per_edge",
+    )
+
+    def __init__(self, ctx: GraphContext) -> None:
+        self.ctx = ctx
+        self.num_nodes = int(ctx.num_nodes)
+        self.num_edges = int(ctx.num_edges)
+        self.fwd_row = _as_index(ctx.fwd_row)
+        self.fwd_col = _as_index(ctx.fwd_col)
+        self.bwd_row = _as_index(ctx.bwd_row)
+        self.bwd_col = _as_index(ctx.bwd_col)
+        self.bwd_to_fwd = _as_index(ctx.bwd_to_fwd)
+        self.dst_per_edge = _as_index(ctx.dst_per_edge)
+
+
+def _as_index(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+#: ctx → NativeGraph; weak keys tie pack lifetime to the executor's context
+#: LRU, which reuses one GraphContext per unchanged snapshot identity.
+_GRAPH_CACHE: "weakref.WeakKeyDictionary[GraphContext, NativeGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def native_graph(ctx: GraphContext) -> NativeGraph:
+    """The packed arrays for ``ctx`` — the cross-timestamp fusion point.
+
+    A hit means the snapshot identity is unchanged since the last launch
+    (the executor reused the context), so the ``graph_update`` re-pack is
+    fused away entirely; counted as ``compiled_fusion_hits`` /
+    ``compiled_fusion_misses`` on the device profiler.
+    """
+    from repro.device import current_device
+
+    packed = _GRAPH_CACHE.get(ctx)
+    profiler = current_device().profiler
+    if packed is None:
+        packed = NativeGraph(ctx)
+        _GRAPH_CACHE[ctx] = packed
+        profiler.count("compiled_fusion_misses")
+    else:
+        profiler.count("compiled_fusion_hits")
+    return packed
+
+
+# ---------------------------------------------------------------------------
+# The nat_* primitives generated compiled drivers call
+# ---------------------------------------------------------------------------
+def _eligible_payload(x) -> bool:
+    return (
+        isinstance(x, np.ndarray)
+        and x.dtype == np.float32
+        and x.ndim in (1, 2)
+        and x.flags.c_contiguous
+    )
+
+
+def _eligible_edge(w) -> bool:
+    return (
+        isinstance(w, np.ndarray)
+        and w.dtype == np.float32
+        and w.ndim == 1
+        and w.flags.c_contiguous
+    )
+
+
+def nat_spmm(G: NativeGraph, w, x, direction: str = "in"):
+    """Native CSR aggregation; falls back to :func:`repro.compiler.runtime.spmm`
+    for ineligible operands (wrong dtype/rank/layout) or a missing toolchain."""
+    backend = _backend()
+    if backend is None or not _eligible_payload(x) or (w is not None and not _eligible_edge(w)):
+        return spmm(G.ctx, w, x, direction)
+    if direction == "in":
+        rowp, col, perm = G.fwd_row, G.fwd_col, None
+    else:
+        rowp, col = G.bwd_row, G.bwd_col
+        perm = G.bwd_to_fwd if w is not None else None
+    out = np.empty_like(x)
+    backend.spmm(rowp, col, perm, w, x, out)
+    return out
+
+
+def nat_spmm_T(G: NativeGraph, w, g, direction: str = "in"):
+    """Adjoint of :func:`nat_spmm` — the opposite CSR orientation."""
+    return nat_spmm(G, w, g, direction="out" if direction == "in" else "in")
+
+
+def nat_segment_sum(G: NativeGraph, w):
+    """Native per-destination edge-scalar reduction (float64 prefix)."""
+    backend = _backend()
+    if backend is None or not _eligible_edge(w):
+        return segment_sum(G.ctx, w)
+    out = np.empty(G.num_nodes, dtype=np.float32)
+    backend.segment_sum(G.fwd_row, w, out)
+    return out
+
+
+def nat_segment_sum_dst(G: NativeGraph, g):
+    """Alias of :func:`nat_segment_sum` (gradient of gather_dst)."""
+    return nat_segment_sum(G, g)
+
+
+def nat_scatter_src(G: NativeGraph, g):
+    """Native per-source edge-scalar reduction (float64 accumulators)."""
+    backend = _backend()
+    if backend is None or not _eligible_edge(g):
+        return scatter_src(G.ctx, g)
+    out = np.empty(G.num_nodes, dtype=np.float32)
+    if not backend.scatter_sum(G.fwd_col, g, out, G.num_nodes):
+        return scatter_src(G.ctx, g)
+    return out
+
+
+def nat_gather_src(G: NativeGraph, x):
+    """Native per-edge replication from source vertices."""
+    backend = _backend()
+    if backend is None or not _eligible_payload(x):
+        return gather_src(G.ctx, x)
+    shape = (G.num_edges,) if x.ndim == 1 else (G.num_edges, x.shape[1])
+    out = np.empty(shape, dtype=np.float32)
+    backend.gather(G.fwd_col, x, out)
+    return out
+
+
+def nat_gather_dst(G: NativeGraph, x):
+    """Native per-edge replication from destination vertices."""
+    backend = _backend()
+    if backend is None or not _eligible_payload(x):
+        return gather_dst(G.ctx, x)
+    shape = (G.num_edges,) if x.ndim == 1 else (G.num_edges, x.shape[1])
+    out = np.empty(shape, dtype=np.float32)
+    backend.gather(G.dst_per_edge, x, out)
+    return out
+
+
+#: extra globals handed to compiled-driver modules (on top of the regular
+#: RUNTIME_NAMESPACE, which still serves every non-aggregation op).
+NATIVE_NAMESPACE = {
+    "native_graph": native_graph,
+    "nat_spmm": nat_spmm,
+    "nat_spmm_T": nat_spmm_T,
+    "nat_segment_sum": nat_segment_sum,
+    "nat_segment_sum_dst": nat_segment_sum_dst,
+    "nat_scatter_src": nat_scatter_src,
+    "nat_gather_src": nat_gather_src,
+    "nat_gather_dst": nat_gather_dst,
+}

@@ -18,6 +18,7 @@
 from repro.core.stacks import GraphStack, StateStack, StackEntry
 from repro.core.prefetch import PrefetchScheduler
 from repro.core.engine import (
+    CompiledEngine,
     ExecutionEngine,
     InterpreterEngine,
     KernelEngine,
@@ -39,6 +40,7 @@ __all__ = [
     "ExecutionEngine",
     "KernelEngine",
     "InterpreterEngine",
+    "CompiledEngine",
     "get_engine",
     "register_engine",
     "available_engines",

@@ -353,9 +353,11 @@ class TemporalExecutor:
             self._prefetcher.stop()
             self._prefetcher = None
 
-    def stats(self) -> dict[str, int]:
-        """Peak stack depths/bytes, push counts, and context/prefetch counters."""
-        stats = {
+    def stats(self) -> dict[str, int | str]:
+        """Peak stack depths/bytes, push counts, engine override, and
+        context/prefetch counters."""
+        stats: dict[str, int | str] = {
+            "engine": self.engine.name if self.engine is not None else "default",
             "state_stack_peak_depth": self.state_stack.peak_depth,
             "state_stack_peak_bytes": self.state_stack.peak_bytes,
             "state_stack_pushes": self.state_stack.total_pushes,

@@ -118,14 +118,21 @@ class PrefetchScheduler:
 
         Wraps around the end of the DTDG so the next epoch's first
         snapshots are staged while the current epoch finishes.  Timestamps
-        already cached, staged, queued, or in flight are skipped.  Returns
+        already cached, staged, queued, or in flight are skipped — as is the
+        currently-executing timestamp itself, which the wraparound reaches
+        whenever ``staleness >= T`` (degenerate ``T == 1`` sequences made
+        the worker rebuild the snapshot the main thread was already using,
+        wasting the builder and polluting the hit/miss counters).  Returns
         the number of timestamps newly queued.
         """
         self._ensure_started()
         queued = 0
+        self_ts = int(t) % self._num_ts
         with self._cv:
             for i in range(1, self.staleness + 1):
                 ts = (int(t) + i) % self._num_ts
+                if ts == self_ts:
+                    continue
                 if ts in self._queued or self._cache.inflight(ts):
                     continue
                 if self._cached_key(ts) is not None:

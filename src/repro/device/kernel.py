@@ -86,6 +86,10 @@ class KernelLauncher:
         self.launch_seconds = 0.0
         self.compile_count = 0
         self.source_dedup_hits = 0
+        #: launches per execution tier ("python" for the regular generated
+        #: kernels, "native" for compiled-engine drivers, per kernel meta) —
+        #: lets benchmarks verify which tier actually ran.
+        self.launches_by_tier: dict[str, int] = {}
 
     def get(self, key: Any) -> CompiledKernel | None:
         """Cached kernel for ``key``, or None."""
@@ -136,13 +140,15 @@ class KernelLauncher:
         injector = current_injector()
         if injector.enabled:
             injector.fire("kernel")
+        tier = kernel.meta.get("tier", "python")
         start = time.perf_counter()
         try:
-            with current_tracer().span(kernel.name, "gnn"):
+            with current_tracer().span(kernel.name, "gnn", tier=tier):
                 return kernel(*args, **kwargs)
         finally:
             self.launch_seconds += time.perf_counter() - start
             self.launch_count += 1
+            self.launches_by_tier[tier] = self.launches_by_tier.get(tier, 0) + 1
 
     def clear(self) -> None:
         """Drop the caches and reset launch/compile counters."""
@@ -152,6 +158,7 @@ class KernelLauncher:
         self.launch_seconds = 0.0
         self.compile_count = 0
         self.source_dedup_hits = 0
+        self.launches_by_tier.clear()
 
     def __len__(self) -> int:
         return len(self._cache)

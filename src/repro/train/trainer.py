@@ -58,6 +58,7 @@ class STGraphTrainer:
         task: str = "regression",
         link_samples: Sequence[LinkSamples] | None = None,
         pipeline: int = 0,
+        engine: str | None = None,
     ) -> None:
         if task not in ("regression", "link_prediction"):
             raise ValueError(f"unknown task {task!r}")
@@ -72,7 +73,11 @@ class STGraphTrainer:
         # pipeline = prefetch staleness bound (0 = strictly serial; k >= 1
         # builds up to k future snapshots on a worker thread).  Numerics are
         # identical either way — see docs/EXECUTOR.md §Pipelined execution.
-        self.executor = TemporalExecutor(graph, pipeline=pipeline)
+        # engine = executor-wide ExecutionEngine override ("kernel",
+        # "interpreter", "compiled"); None lets each program pick its own.
+        # All registered engines are bitwise-identical, so this is a pure
+        # speed/differential-testing switch.
+        self.executor = TemporalExecutor(graph, engine=engine, pipeline=pipeline)
         self.epoch_times: list[float] = []
         #: checkpoint path this run resumed from (None for a fresh run);
         #: surfaced in the RunManifest's ``resumed_from`` field.

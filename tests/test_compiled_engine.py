@@ -1,0 +1,206 @@
+"""The compiled (native) execution tier: fallback, fusion, ladder, CLI.
+
+The CompiledEngine must be a perfect drop-in sibling of the kernel and
+interpreter engines: bitwise-identical numerics (gated by the engine-axis
+differential tests), transparent delegation when no toolchain exists,
+cross-timestamp fusion that is purely a structural-reuse optimization, and
+a degradation ladder that walks compiled → kernel → interpreter under
+injected faults.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.compiler import compile_vertex_program
+from repro.compiler.native import native_backend, native_graph, reset_native_backend
+from repro.compiler.runtime import GraphContext
+from repro.core import CompiledEngine, TemporalExecutor, get_engine
+from repro.device import current_device
+from repro.graph import StaticGraph
+from repro.nn import GCNConv
+from repro.resilience import FaultPlan, FaultSite, use_fault_plan
+from repro.resilience.faults import FaultInjector
+from repro.tensor import Tensor, functional as F, init
+
+N, F_IN = 16, 4
+
+
+def _static_executor(engine=None, seed=3):
+    sg = StaticGraph.from_networkx(
+        nx.gnp_random_graph(N, 0.3, seed=seed, directed=True)
+    )
+    return TemporalExecutor(sg, engine=engine)
+
+
+def _gcn_forward_backward(ex, seed=11):
+    ex.begin_timestamp(0)
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((N, F_IN)).astype(np.float32), requires_grad=True)
+    init.set_seed(21)
+    out = GCNConv(F_IN, 3)(ex, x)
+    F.sum(out).backward()
+    return out.data, x.grad
+
+
+# ---------------------------------------------------------------------------
+# Toolchain resolution / fallback
+# ---------------------------------------------------------------------------
+def test_backend_resolved_in_this_container():
+    """The CI image ships cc (and CI's compiled job installs numba), so a
+    backend must resolve here; the engine records which one."""
+    engine = get_engine("compiled")
+    assert isinstance(engine, CompiledEngine)
+    assert engine.backend == native_backend()
+
+
+def test_no_toolchain_falls_back_to_kernel(monkeypatch):
+    """REPRO_NATIVE=none simulates a machine with neither numba nor cc: the
+    compiled engine must transparently delegate to the kernel engine and
+    still produce the exact same numbers."""
+    out_ref, grad_ref = _gcn_forward_backward(_static_executor(engine="kernel"))
+
+    monkeypatch.setenv("REPRO_NATIVE", "none")
+    reset_native_backend()
+    try:
+        assert native_backend() is None
+        engine = CompiledEngine()  # fresh instance: the singleton has a backend
+        assert engine.backend is None
+        out_c, grad_c = _gcn_forward_backward(_static_executor(engine=engine))
+        assert np.array_equal(out_ref, out_c)
+        assert np.array_equal(grad_ref, grad_c)
+    finally:
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        reset_native_backend()
+
+
+# ---------------------------------------------------------------------------
+# Cross-timestamp fusion
+# ---------------------------------------------------------------------------
+def test_fusion_cache_hits_on_unchanged_snapshot():
+    """Same GraphContext across timestamps → one packing miss, then hits;
+    both sides reach the device profiler's fusion counters."""
+    if native_backend() is None:
+        pytest.skip("no native toolchain")
+    profiler = current_device().profiler
+    sg = StaticGraph.from_networkx(nx.gnp_random_graph(N, 0.3, seed=5, directed=True))
+    ctx = GraphContext(sg)
+    h0, m0 = profiler.counter("compiled_fusion_hits"), profiler.counter("compiled_fusion_misses")
+    g1 = native_graph(ctx)
+    g2 = native_graph(ctx)
+    assert g1 is g2
+    assert profiler.counter("compiled_fusion_misses") == m0 + 1
+    assert profiler.counter("compiled_fusion_hits") == h0 + 1
+
+
+def test_fusion_invisible_in_numerics_across_contexts():
+    """A fresh context (fusion miss) and a reused one (hit) agree bitwise."""
+    if native_backend() is None:
+        pytest.skip("no native toolchain")
+    prog = compile_vertex_program(
+        lambda v: v.agg_sum(lambda nb: nb.h * nb.norm) * v.norm,
+        {"h": "v", "norm": "s"},
+        {"h"},
+        name="fuse_eq",
+        engine="compiled",
+    )
+    sg = StaticGraph.from_networkx(nx.gnp_random_graph(N, 0.3, seed=5, directed=True))
+    rng = np.random.default_rng(1)
+    h = rng.standard_normal((N, F_IN)).astype(np.float32)
+    norm = rng.standard_normal(N).astype(np.float32)
+    ctx_a = GraphContext(sg)
+    out_miss, _ = prog.forward(ctx_a, {"h": h, "norm": norm})
+    out_hit, _ = prog.forward(ctx_a, {"h": h, "norm": norm})
+    out_fresh, _ = prog.forward(GraphContext(sg), {"h": h, "norm": norm})
+    assert np.array_equal(out_miss, out_hit)
+    assert np.array_equal(out_miss, out_fresh)
+
+
+# ---------------------------------------------------------------------------
+# Launch-tier recording
+# ---------------------------------------------------------------------------
+def test_compiled_launches_recorded_as_native_tier():
+    if native_backend() is None:
+        pytest.skip("no native toolchain")
+    launcher = current_device().launcher
+    _gcn_forward_backward(_static_executor(engine="compiled"))
+    assert launcher.launches_by_tier.get("native", 0) >= 2  # fwd + bwd
+    before = launcher.launches_by_tier.get("native", 0)
+    _gcn_forward_backward(_static_executor(engine="kernel"))
+    assert launcher.launches_by_tier.get("native", 0) == before
+    assert launcher.launches_by_tier.get("python", 0) >= 2
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder: compiled -> kernel -> interpreter
+# ---------------------------------------------------------------------------
+def test_fault_ladder_walks_compiled_kernel_interpreter():
+    """A kernel fault firing 3 times eats the compiled retry and the kernel
+    fallback launch, so recovery requires both ladder steps; the result
+    still matches the clean run bitwise (the interpreter is the oracle)."""
+    if native_backend() is None:
+        pytest.skip("no native toolchain")
+    out_ref, grad_ref = _gcn_forward_backward(_static_executor(engine="kernel"))
+
+    plan = FaultPlan(
+        name="ladder3",
+        sites=[FaultSite(kind="kernel", times=3)],
+    )
+    ex = _static_executor(engine="compiled")
+    with use_fault_plan(FaultInjector(plan)):
+        out, grad = _gcn_forward_backward(ex)
+    assert np.array_equal(out_ref, out)
+    assert np.array_equal(grad_ref, grad)
+    assert ex.kernel_retries == 1
+    assert ex.engine_fallbacks == 2  # compiled -> kernel, kernel -> interpreter
+    profiler = current_device().profiler
+    assert profiler.counter("engine_fallbacks") >= 2
+
+
+def test_fault_ladder_single_extra_fault_lands_on_kernel():
+    """times=2: the retry faults, the first fallback (kernel) completes —
+    the interpreter is never needed."""
+    if native_backend() is None:
+        pytest.skip("no native toolchain")
+    out_ref, grad_ref = _gcn_forward_backward(_static_executor(engine="kernel"))
+    plan = FaultPlan(name="ladder2", sites=[FaultSite(kind="kernel", times=2)])
+    ex = _static_executor(engine="compiled")
+    with use_fault_plan(FaultInjector(plan)):
+        out, grad = _gcn_forward_backward(ex)
+    assert np.array_equal(out_ref, out)
+    assert np.array_equal(grad_ref, grad)
+    assert ex.kernel_retries == 1
+    assert ex.engine_fallbacks == 1
+
+
+# ---------------------------------------------------------------------------
+# Executor stats / CLI surface
+# ---------------------------------------------------------------------------
+def test_executor_stats_name_engine():
+    ex = _static_executor(engine="compiled")
+    assert ex.stats()["engine"] == "compiled"
+    assert _static_executor().stats()["engine"] == "default"
+
+
+def test_cli_unknown_engine_exits_nonzero_with_message():
+    """``repro train --engine copiled`` must exit non-zero with the engine
+    list on stderr — not a traceback."""
+    import os
+    import pathlib
+
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ, PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "train",
+         "--dataset", "HC", "--engine", "copiled"],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode != 0
+    assert "unknown engine" in proc.stderr
+    assert "compiled" in proc.stderr  # the available list names the real one
+    assert "Traceback" not in proc.stderr

@@ -118,6 +118,45 @@ def test_backward_matches_interpreter(name, ctx, rng):
         assert np.allclose(compiled_grads[feat], expected, atol=1e-6), (name, feat)
 
 
+@pytest.mark.parametrize("engine", ["interpreter", "compiled"])
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_engine_axis_matches_kernel_bitwise(name, engine, ctx, rng):
+    """Engine axis: every registered engine agrees with ``kernel`` bitwise.
+
+    Stronger than the interpreter differentials above (allclose): engines
+    execute the same op order against the same runtime/native primitives,
+    so outputs, saved buffers, and gradients must be bit-for-bit equal.
+    Without a native toolchain the compiled engine delegates to kernel,
+    which keeps this axis meaningful on every machine.
+    """
+    fn, widths = PROGRAMS[name]
+    prog = compile_vertex_program(fn, widths, name=f"diffe_{name}")
+    binds = _bindings(prog, ctx, rng)
+    node_feats = {
+        feat: binds[buf] for buf, (k, feat) in prog.fwd_prog.inputs.items() if k == "node"
+    }
+    edge_feats = {
+        feat: ctx.edge_grad_to_labels(binds[buf])
+        for buf, (k, feat) in prog.fwd_prog.inputs.items()
+        if k == "edge"
+    } or None
+    out_k, saved_k = prog.forward(ctx, node_feats, edge_feats)
+    gout = rng.standard_normal(np.asarray(out_k).shape).astype(np.float32)
+    grads_k = prog.backward(ctx, gout, saved_k)
+
+    other = prog.with_engine(engine)
+    out_o, saved_o = other.forward(ctx, node_feats, edge_feats)
+    grads_o = other.backward(ctx, gout, saved_o)
+
+    assert np.array_equal(np.asarray(out_k), np.asarray(out_o)), name
+    assert sorted(saved_k) == sorted(saved_o)
+    for buf in saved_k:
+        assert np.array_equal(saved_k[buf], saved_o[buf]), (name, buf)
+    assert sorted(grads_k) == sorted(grads_o)
+    for feat in grads_k:
+        assert np.array_equal(grads_k[feat], grads_o[feat]), (name, feat)
+
+
 _term = st.tuples(
     st.floats(-2.0, 2.0).filter(lambda c: abs(c) > 0.05),
     st.booleans(),

@@ -12,12 +12,14 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    CompiledEngine,
     InterpreterEngine,
     KernelEngine,
     TemporalExecutor,
     available_engines,
     get_engine,
 )
+from repro.core.engine import register_engine
 from repro.device import current_device
 from repro.graph import StaticGraph
 from repro.nn import (
@@ -42,13 +44,14 @@ N, F_IN = 18, 4
 # Registry
 # ---------------------------------------------------------------------------
 def test_available_engines():
-    assert {"kernel", "interpreter"} <= set(available_engines())
+    assert {"kernel", "interpreter", "compiled"} <= set(available_engines())
 
 
 def test_get_engine_memoizes_singletons():
     assert get_engine("kernel") is get_engine("kernel")
     assert isinstance(get_engine("kernel"), KernelEngine)
     assert isinstance(get_engine("interpreter"), InterpreterEngine)
+    assert isinstance(get_engine("compiled"), CompiledEngine)
 
 
 def test_get_engine_instance_passthrough():
@@ -59,6 +62,30 @@ def test_get_engine_instance_passthrough():
 def test_get_engine_unknown_raises():
     with pytest.raises(KeyError, match="unknown engine"):
         get_engine("tpu")
+
+
+def test_get_engine_unknown_lists_available():
+    """The KeyError names every registered engine, so typos are self-serve."""
+    with pytest.raises(KeyError) as excinfo:
+        get_engine("copiled")
+    message = str(excinfo.value)
+    for name in available_engines():
+        assert name in message
+
+
+def test_register_engine_idempotent_for_same_factory():
+    """Re-registering the same factory under its own name is a no-op
+    (module re-imports and plugin hooks must not explode)."""
+    register_engine("kernel", KernelEngine)
+    register_engine("interpreter", InterpreterEngine)
+    register_engine("compiled", CompiledEngine)
+    assert isinstance(get_engine("kernel"), KernelEngine)
+
+
+def test_register_engine_rejects_genuine_conflict():
+    """A *different* factory claiming a taken name still raises."""
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine("kernel", InterpreterEngine)
 
 
 def test_executor_engine_override():
@@ -167,10 +194,11 @@ def _run(case, engine):
     return out.data, grads, ex
 
 
+@pytest.mark.parametrize("other", ["interpreter", "compiled"])
 @pytest.mark.parametrize("case", sorted(ZOO), ids=sorted(ZOO))
-def test_engines_agree_bitwise(case):
+def test_engines_agree_bitwise(case, other):
     out_k, grads_k, _ = _run(case, "kernel")
-    out_i, grads_i, _ = _run(case, "interpreter")
+    out_i, grads_i, _ = _run(case, other)
     assert np.array_equal(out_k, out_i)
     for name in grads_k:
         gk, gi = grads_k[name], grads_i[name]

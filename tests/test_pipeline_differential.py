@@ -22,7 +22,9 @@ _SEED = 0
 _EPOCHS = 3
 
 
-def _losses(ds, samples, pipeline: int, epochs: int = _EPOCHS) -> list[float]:
+def _losses(
+    ds, samples, pipeline: int, epochs: int = _EPOCHS, engine: str | None = None
+) -> list[float]:
     """Per-epoch losses of one seeded run on a fresh device/trainer/graph."""
     with use_device(Device(name=f"pipe{pipeline}")):
         init.set_seed(_SEED)
@@ -30,6 +32,7 @@ def _losses(ds, samples, pipeline: int, epochs: int = _EPOCHS) -> list[float]:
         trainer = STGraphTrainer(
             model, ds.build_gpma(), lr=1e-2, sequence_length=3,
             task="link_prediction", link_samples=samples, pipeline=pipeline,
+            engine=engine,
         )
         return trainer.train(ds.features, epochs=epochs)
 
@@ -51,6 +54,79 @@ def test_pipelined_losses_bitwise_equal_serial(workload, staleness):
     assert all(np.float64(a) == np.float64(b) for a, b in zip(serial, piped)), (
         f"staleness={staleness} diverged: {serial} vs {piped}"
     )
+
+
+@pytest.mark.parametrize("engine", ["kernel", "interpreter", "compiled"])
+@pytest.mark.parametrize("staleness", [1, 2, 4])
+def test_engine_axis_bitwise_under_pipelining(workload, staleness, engine):
+    """Neither the engine nor the staleness knob moves the numbers: every
+    (engine, staleness) cell reproduces the serial default-engine losses
+    bitwise.  The compiled tier's cross-timestamp fusion cache must stay
+    invisible even when prefetching changes which thread builds snapshots."""
+    ds, samples = workload
+    serial = _losses(ds, samples, pipeline=0)
+    cell = _losses(ds, samples, pipeline=staleness, engine=engine)
+    assert len(serial) == len(cell) == _EPOCHS
+    assert all(np.float64(a) == np.float64(b) for a, b in zip(serial, cell)), (
+        f"engine={engine} staleness={staleness} diverged: {serial} vs {cell}"
+    )
+
+
+def _one_timestamp_workload():
+    """A hand-built T == 1 DTDG (the dataset loaders floor at two snapshots)."""
+    from repro.graph.dtdg import DTDG
+
+    n = 20
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, n, 60).astype(np.int64)
+    dst = rng.integers(0, n, 60).astype(np.int64)
+    dtdg = DTDG([(src, dst)], n)
+    features = [rng.standard_normal((n, 8)).astype(np.float32)]
+    samples = make_link_prediction_samples(dtdg, samples_per_timestamp=16, seed=_SEED)
+    return dtdg, features, samples
+
+
+def test_one_timestamp_pipeline_differential():
+    """Degenerate T == 1 DTDG: wraparound scheduling must not have the worker
+    rebuild (and re-stage) the only snapshot the main thread is using —
+    the regression behind the ``(t + i) % T`` self-prefetch fix.  Losses
+    stay bitwise equal to serial and the scheduler queues nothing."""
+    from repro.graph import GPMAGraph
+
+    dtdg, features, samples = _one_timestamp_workload()
+    assert dtdg.num_timestamps == 1
+
+    # Unit level: every candidate wraps onto the executing timestamp itself,
+    # so the scheduler must never hand work to the worker.
+    from repro.core.prefetch import PrefetchScheduler
+
+    with use_device(Device(name="pipe-t1-unit")):
+        sched = PrefetchScheduler(GPMAGraph(dtdg), staleness=2)
+        try:
+            assert sched.schedule_ahead(0) == 0
+            assert sched.scheduled_total == 0
+        finally:
+            sched.stop()
+        assert sched.built_total == 0
+
+    # End to end: the pipelined run stays bitwise equal to serial, and the
+    # worker never materializes a snapshot (no "prefetch" profiler phase).
+    def run(pipeline: int):
+        with use_device(Device(name=f"pipe-t1-{pipeline}")) as device:
+            init.set_seed(_SEED)
+            model = STGraphLinkPredictor(8, 8)
+            trainer = STGraphTrainer(
+                model, GPMAGraph(dtdg), lr=1e-2, sequence_length=1,
+                task="link_prediction", link_samples=samples, pipeline=pipeline,
+            )
+            losses = trainer.train(features, epochs=_EPOCHS)
+            return losses, device
+
+    serial, _ = run(0)
+    piped, device = run(2)
+    assert device.profiler.calls("prefetch") == 0
+    assert len(serial) == len(piped) == _EPOCHS
+    assert all(np.float64(a) == np.float64(b) for a, b in zip(serial, piped))
 
 
 def test_pipelined_run_is_deterministic_across_repeats(workload):
