@@ -1,9 +1,10 @@
-"""Gate: the disabled (no-op) tracer must add <2% to a training step.
+"""Gate: observability must add <2% to a training step.
 
-Every hot path in the framework now runs through ``current_tracer().span``
-even when tracing is off, so the NullTracer's cost is paid on every kernel
-launch, timestamp, and stack operation of every run.  A raw A/B epoch
-timing is too noisy to gate on in CI, so the gate is computed:
+Two always-on costs are gated with the same projection methodology: the
+disabled (no-op) tracer that every hot path runs through, and the live
+latency histograms (``device.metrics``) that every timestamp, optimizer
+step, and kernel launch observes into.  A raw A/B epoch timing is too
+noisy to gate on in CI, so each gate is computed:
 
 1. count the instrumentation call sites one real epoch executes
    (spans + instants, from a kept-events tracer),
@@ -89,6 +90,63 @@ def _timed_epoch(trainer, ds) -> float:
     start = time.perf_counter()
     trainer.train_epoch(ds.features)
     return time.perf_counter() - start
+
+
+def test_histogram_observation_overhead_under_2_percent():
+    """Gate: the always-on latency histograms must add <2% to an epoch.
+
+    Unlike the tracer, ``device.metrics`` is enabled by default — every
+    timestamp, optimizer step, kernel launch, and graph advance pays one
+    ``perf_counter`` pair plus one ``Histogram.observe``.  Same
+    methodology as the tracer gate: count the observations one epoch makes
+    (from the live registry's ``_count`` totals), measure the per-observe
+    cost in a tight loop, and assert the projection stays under 2%.
+    """
+    from repro.device import current_device
+    from repro.obs.metrics import Histogram
+
+    ds, trainer = _build_trainer()
+    trainer.train_epoch(ds.features)  # warm up: plan compile, caches
+
+    # 1. histogram observations per epoch, from the registry deltas
+    metrics = current_device().metrics
+
+    def _total_observations() -> int:
+        total = 0
+        for family in metrics.families():
+            if family.kind != "histogram":
+                continue
+            for _, child in family.child_items():
+                total += child.count
+        return total
+
+    before = _total_observations()
+    trainer.train_epoch(ds.features)
+    observations = _total_observations() - before
+    assert observations > 0, "histograms-enabled path recorded nothing"
+
+    # 2. per-call cost: perf_counter pair + observe (the full hot-path shape)
+    hist = Histogram()
+    iterations = 200_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        t0 = time.perf_counter()
+        hist.observe(time.perf_counter() - t0)
+    observe_cost = (time.perf_counter() - start) / iterations
+
+    # 3. the gate, against the measured epoch time
+    epoch_seconds = min(_timed_epoch(trainer, ds) for _ in range(3))
+    projected = observations * observe_cost
+    overhead_frac = projected / epoch_seconds
+    print(
+        f"\nhistograms: {observations} observes x {observe_cost * 1e9:.0f}ns "
+        f"= {projected * 1e6:.1f}us projected over a {epoch_seconds * 1e3:.1f}ms epoch "
+        f"({100 * overhead_frac:.3f}%)"
+    )
+    assert overhead_frac < 0.02, (
+        f"live histograms project {100 * overhead_frac:.2f}% overhead "
+        f"(gate: 2%); the observe() hot path has regressed"
+    )
 
 
 def test_enabled_tracer_ab_comparison_informational():

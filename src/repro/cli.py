@@ -36,11 +36,17 @@ Commands
 under a :class:`~repro.obs.tracer.Tracer` and the same four artifacts are
 written (``out.json``, ``out.events.jsonl``, ``out.manifest.json``,
 ``out.metrics.prom``).
+
+``train --telemetry-port PORT`` additionally serves live ``/metrics``
+(Prometheus), ``/healthz``, and ``/progress`` on ``127.0.0.1:PORT`` while
+the run executes; ``train``/``chaos`` ``--flight-recorder out.jsonl`` arm
+the bounded flight recorder (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -177,6 +183,13 @@ def _write_trace_artifacts(
     print(f"metrics dump:  {prom}")
 
 
+def _start_telemetry(trainer) -> None:
+    """Start the trainer's scrape endpoint (if configured) and print its URL."""
+    port = trainer.start_telemetry()
+    if port is not None:
+        print(f"telemetry: http://127.0.0.1:{port} (/metrics /healthz /progress)")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -198,6 +211,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     resume = bool(getattr(args, "resume", False))
     pipeline = int(getattr(args, "pipeline", 0) or 0)
     engine = _resolve_engine(getattr(args, "engine", None))
+    telemetry_port = getattr(args, "telemetry_port", None)
+    flight_path = getattr(args, "flight_recorder", None)
     if resume and checkpoint_path is None:
         raise SystemExit("--resume requires --checkpoint PATH")
     if checkpoint_path is not None and args.system == "pygt":
@@ -206,9 +221,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
         raise SystemExit("--pipeline is STGraph-only; the pygt baseline has no snapshot prefetch")
     if engine and args.system == "pygt":
         raise SystemExit("--engine is STGraph-only; the pygt baseline has no execution engines")
+    if telemetry_port is not None and args.system == "pygt":
+        raise SystemExit("--telemetry-port is STGraph-only; the pygt baseline has no telemetry hooks")
+    if flight_path is not None and args.system == "pygt":
+        raise SystemExit("--flight-recorder is STGraph-only; the pygt baseline has no failure hooks")
     tracer = Tracer(name=f"train:{args.dataset}:{args.model}") if trace_path else None
     device = Device(name="cli")
-    with use_device(device), use_tracer(tracer):
+    recorder = None
+    flight_ctx = contextlib.nullcontext()
+    if flight_path is not None:
+        from repro.obs.flight import FlightRecorder, use_flight_recorder
+
+        recorder = FlightRecorder(path=flight_path)
+        flight_ctx = use_flight_recorder(recorder)
+    with use_device(device), use_tracer(tracer), flight_ctx:
         init.set_seed(args.seed)
         if args.dataset in STATIC_DATASETS:
             ds = STATIC_DATASETS[args.dataset](
@@ -228,7 +254,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
                     model, ds.build_graph(), lr=args.lr,
                     sequence_length=args.sequence_length,
                     pipeline=pipeline, engine=engine,
+                    telemetry_port=telemetry_port,
                 )
+                _start_telemetry(trainer)
             if checkpoint_path is not None:
                 losses = trainer.train(
                     tr_x, tr_y, epochs=args.epochs, warmup=min(2, args.epochs - 1),
@@ -250,7 +278,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 sequence_length=args.sequence_length,
                 task="link_prediction", link_samples=samples,
                 pipeline=pipeline, engine=engine,
+                telemetry_port=telemetry_port,
             )
+            _start_telemetry(trainer)
             if checkpoint_path is not None:
                 losses = trainer.train(
                     ds.features, epochs=args.epochs, warmup=min(2, args.epochs - 1),
@@ -264,6 +294,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         resumed_from = getattr(trainer, "resumed_from", None)
         if resumed_from:
             print(f"resumed from: {resumed_from}")
+        if recorder is not None:
+            # A clean run still leaves the artifact: the final window shows
+            # the last N things the run did before finishing.
+            recorder.drain("run_end")
+            print(
+                f"flight recorder: {recorder.total_recorded} events, "
+                f"{recorder.drain_count()} drain(s) -> {flight_path}"
+            )
         print(f"loss: {losses[0]:.4f} -> {losses[-1]:.4f} over {args.epochs} epochs")
         print(f"per-epoch time: {trainer.mean_epoch_time * 1e3:.1f} ms")
         print(f"peak device memory: {device.tracker.peak_bytes / 1e6:.2f} MB")
@@ -327,6 +365,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         workdir=args.workdir,
         tracer=tracer,
         engine=engine,
+        flight_recorder=getattr(args, "flight_recorder", None),
     )
     print(report.render())
     if args.json:
@@ -528,6 +567,12 @@ def main(argv: list[str] | None = None) -> int:
                               "all engines are bitwise-identical — this is a speed knob")
     p_train.add_argument("--resume", action="store_true",
                          help="resume from --checkpoint if it exists (bitwise-identical losses)")
+    p_train.add_argument("--telemetry-port", type=int, default=None, metavar="PORT",
+                         help="serve live /metrics, /healthz, and /progress on 127.0.0.1:PORT "
+                              "for the duration of the run (0 = pick an ephemeral port)")
+    p_train.add_argument("--flight-recorder", metavar="OUT.jsonl", default=None,
+                         help="arm the flight recorder; failure edges (aborts, fallbacks, "
+                              "kills) and the run end append their last-N-events window here")
 
     p_chaos = sub.add_parser("chaos", help="fault-injected train/kill/resume run with verification")
     p_chaos.add_argument("--plan", default="smoke",
@@ -547,6 +592,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="write the full ChaosReport (manifest inlined) as JSON")
     p_chaos.add_argument("--trace", metavar="OUT.json", default=None,
                          help="trace the chaos run; writes the Chrome trace and run manifest")
+    p_chaos.add_argument("--flight-recorder", metavar="OUT.jsonl", default=None,
+                         help="arm the flight recorder on the chaos run; every kill/abort/"
+                              "fallback appends its event window, and the report verifies "
+                              "the fault window was captured")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("--experiment", choices=_EXPERIMENTS, required=True)

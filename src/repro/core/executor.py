@@ -39,6 +39,7 @@ from repro.core.engine import ExecutionEngine, get_engine
 from repro.core.stacks import GraphStack, StateStack
 from repro.device import current_device
 from repro.graph.base import STGraphBase
+from repro.obs.flight import current_flight_recorder
 from repro.obs.tracer import current_tracer
 
 __all__ = ["TemporalExecutor"]
@@ -335,6 +336,15 @@ class TemporalExecutor:
                 "executor.abort_sequence", "fault",
                 dropped_state=dropped_state, dropped_graph=dropped_graph,
             )
+        recorder = current_flight_recorder()
+        if recorder.enabled:
+            # A mid-sequence teardown is exactly the incident window the
+            # flight recorder exists for: dump the last-N-events ring.
+            recorder.record(
+                "span", "executor.abort_sequence",
+                dropped_state=dropped_state, dropped_graph=dropped_graph,
+            )
+            recorder.drain("abort_sequence")
 
     def check_drained(self) -> None:
         """Assert both stacks emptied — i.e. forward/backward were balanced."""

@@ -28,6 +28,7 @@ from repro.compiler.runtime import GraphContext
 from repro.core.engine import ExecutionEngine, get_engine
 from repro.core.executor import TemporalExecutor
 from repro.device import current_device
+from repro.obs.flight import current_flight_recorder
 from repro.obs.tracer import current_tracer
 from repro.resilience.faults import InjectedKernelFault
 from repro.tensor import nn
@@ -106,11 +107,17 @@ def _resilient_run(
     except InjectedKernelFault:
         device = current_device()
         tracer = current_tracer()
+        recorder = current_flight_recorder()
         executor.kernel_retries += 1
         device.profiler.count("kernel_retries")
         if tracer.enabled:
             tracer.instant(
                 "fault.retry", "fault",
+                program=program.name, dir=direction, t=timestamp,
+            )
+        if recorder.enabled:
+            recorder.record(
+                "counter", "kernel_retry",
                 program=program.name, dir=direction, t=timestamp,
             )
         try:
@@ -128,6 +135,15 @@ def _resilient_run(
                         program=program.name, dir=direction, t=timestamp,
                         engine=fallback.name,
                     )
+                if recorder.enabled:
+                    # A ladder step is a failure edge worth a full window
+                    # dump: record the step, then drain the ring.
+                    recorder.record(
+                        "counter", "engine_fallback",
+                        program=program.name, dir=direction, t=timestamp,
+                        engine=fallback.name,
+                    )
+                    recorder.drain("engine_fallback")
                 try:
                     return call(fallback), fallback
                 except InjectedKernelFault as exc:

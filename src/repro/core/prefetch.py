@@ -40,6 +40,7 @@ graph operations, and prefetching must not shift them.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 from repro.device import current_device, use_device
@@ -218,11 +219,17 @@ class PrefetchScheduler:
         cache = self._cache
         cache.mark_inflight(ts)
         try:
-            profiler = current_device().profiler
+            device = current_device()
+            start = time.perf_counter()
             with current_tracer().span("prefetch.snapshot", "prefetch", t=int(ts)):
-                with profiler.phase("prefetch"):
+                with device.profiler.phase("prefetch"):
                     key, snap = self.builder.build(ts)
                     cache.stage(key, snap)
+            if device.metrics.enabled:
+                device.metrics.observe(
+                    "repro_prefetch_build_seconds", time.perf_counter() - start,
+                    "Worker-side staged snapshot build latency.",
+                )
         except BaseException as exc:  # keep the loop alive; graph degrades
             if self.worker_error is None:
                 self.worker_error = exc

@@ -15,6 +15,7 @@ from typing import Iterator
 from repro.device.allocator import DeviceAllocator, MemoryTracker
 from repro.device.kernel import KernelLauncher
 from repro.device.profiler import Profiler
+from repro.obs.metrics import MetricRegistry
 from repro.util.ctxstack import ContextStack
 
 __all__ = ["Device", "default_device", "current_device", "use_device"]
@@ -38,7 +39,8 @@ class Device:
         self.name = name
         self.tracker = MemoryTracker()
         self.alloc = DeviceAllocator(self.tracker)
-        self.launcher = KernelLauncher()
+        self.metrics = MetricRegistry()
+        self.launcher = KernelLauncher(metrics=self.metrics)
         self.profiler = Profiler()
         self.memory_limit_bytes = memory_limit_bytes
 
@@ -54,10 +56,12 @@ class Device:
         """No-op on the simulated device; kept for API parity with CUDA."""
 
     def reset(self) -> None:
-        """Clear profiler and kernel cache; memory accounting is preserved
-        (live arrays are still live)."""
+        """Clear profiler, kernel cache, and live metrics; memory accounting
+        is preserved (live arrays are still live).  The metric registry is
+        zeroed *in place* so child references cached by hot paths survive."""
         self.profiler.reset()
         self.launcher.clear()
+        self.metrics.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -79,7 +79,7 @@ class KernelLauncher:
     ``source_dedup_hits`` counts requests served from the source cache.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Any | None = None) -> None:
         self._cache: dict[Any, CompiledKernel] = {}
         self._by_source: dict[tuple[str, str], CompiledKernel] = {}
         self.launch_count = 0
@@ -90,6 +90,12 @@ class KernelLauncher:
         #: kernels, "native" for compiled-engine drivers, per kernel meta) —
         #: lets benchmarks verify which tier actually ran.
         self.launches_by_tier: dict[str, int] = {}
+        #: optional :class:`~repro.obs.metrics.MetricRegistry` (the owning
+        #: device's) receiving per-launch latency into the
+        #: ``repro_kernel_launch_seconds{tier=...}`` histogram; children
+        #: are cached per tier so the hot path pays one dict lookup.
+        self._metrics = metrics
+        self._launch_hist: dict[str, Any] = {}
 
     def get(self, key: Any) -> CompiledKernel | None:
         """Cached kernel for ``key``, or None."""
@@ -146,9 +152,20 @@ class KernelLauncher:
             with current_tracer().span(kernel.name, "gnn", tier=tier):
                 return kernel(*args, **kwargs)
         finally:
-            self.launch_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.launch_seconds += elapsed
             self.launch_count += 1
             self.launches_by_tier[tier] = self.launches_by_tier.get(tier, 0) + 1
+            metrics = self._metrics
+            if metrics is not None and metrics.enabled:
+                hist = self._launch_hist.get(tier)
+                if hist is None:
+                    hist = metrics.histogram(
+                        "repro_kernel_launch_seconds",
+                        "Per-launch kernel wall time by execution tier.",
+                    ).labels(tier=tier)
+                    self._launch_hist[tier] = hist
+                hist.observe(elapsed)
 
     def clear(self) -> None:
         """Drop the caches and reset launch/compile counters."""

@@ -38,6 +38,8 @@ in-flight prefetch to ``"prefetch_wait"``.  Figure 9 plots the split.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.device import current_device
@@ -168,18 +170,32 @@ class GPMAGraph(STGraphBase):
     # ------------------------------------------------------------------
     def get_graph(self, timestamp: int) -> "GPMAGraph":
         """Get-Graph(G, t): apply update batches (with cache retrieval) to position at ``t``."""
+        device = current_device()
+        start = time.perf_counter()
         with current_tracer().span("gpma.advance", "graph_update", t=int(timestamp)):
-            with current_device().profiler.phase("graph_update"):
+            with device.profiler.phase("graph_update"):
                 self._advance(int(timestamp))
+        if device.metrics.enabled:
+            device.metrics.observe(
+                "repro_graph_advance_seconds", time.perf_counter() - start,
+                "GPMA temporal positioning (Get-Graph) latency.",
+            )
         return self
 
     def get_backward_graph(self, timestamp: int) -> "GPMAGraph":
         """Reverse update to ``timestamp``; the backward pass then reads the
         out-CSR (the "graph has to be reversed" part is the forward CSR,
         already produced by Algorithm 3)."""
+        device = current_device()
+        start = time.perf_counter()
         with current_tracer().span("gpma.advance", "graph_update", t=int(timestamp)):
-            with current_device().profiler.phase("graph_update"):
+            with device.profiler.phase("graph_update"):
                 self._advance(int(timestamp))
+        if device.metrics.enabled:
+            device.metrics.observe(
+                "repro_graph_advance_seconds", time.perf_counter() - start,
+                "GPMA temporal positioning (Get-Graph) latency.",
+            )
         return self
 
     def cache_snapshot(self) -> None:
@@ -286,8 +302,15 @@ class GPMAGraph(STGraphBase):
         if self._prefetch_active and self.enable_csr_cache:
             version = self._versions.get(t)
             if version is None and self._csr_cache.inflight(t):
-                with current_device().profiler.phase("prefetch_wait"):
+                device = current_device()
+                start = time.perf_counter()
+                with device.profiler.phase("prefetch_wait"):
                     self._csr_cache.wait_not_inflight(t, timeout=_PREFETCH_WAIT_TIMEOUT)
+                if device.metrics.enabled:
+                    device.metrics.observe(
+                        "repro_prefetch_wait_seconds", time.perf_counter() - start,
+                        "Main-thread stall behind an in-flight prefetch build.",
+                    )
                 version = self._versions.get(t)
             if version is not None:
                 self._pos_time = t
@@ -321,13 +344,20 @@ class GPMAGraph(STGraphBase):
         self._built_version = int(version)
 
     def _rebuild(self) -> BuiltSnapshot:
-        with current_device().profiler.phase("graph_update"):
+        device = current_device()
+        with device.profiler.phase("graph_update"):
             self._catch_up()
+            start = time.perf_counter()
             with current_tracer().span(
                 "gpma.rebuild", "graph_update", t=self.curr_time, edges=self.pma.n_items
             ):
                 snap = build_snapshot_arrays(
-                    self.pma, self.num_nodes, self.sort_by_degree, current_device().alloc
+                    self.pma, self.num_nodes, self.sort_by_degree, device.alloc
+                )
+            if device.metrics.enabled:
+                device.metrics.observe(
+                    "repro_graph_rebuild_seconds", time.perf_counter() - start,
+                    "Snapshot rebuild (relabel + Algorithm 3) latency.",
                 )
             self._install(snap, self._pos_version)
             return snap
@@ -376,8 +406,15 @@ class GPMAGraph(STGraphBase):
                 and self._prefetch_active
                 and self._csr_cache.inflight(self.curr_time)
             ):
-                with current_device().profiler.phase("prefetch_wait"):
+                device = current_device()
+                start = time.perf_counter()
+                with device.profiler.phase("prefetch_wait"):
                     self._csr_cache.wait_not_inflight(self.curr_time, timeout=_PREFETCH_WAIT_TIMEOUT)
+                if device.metrics.enabled:
+                    device.metrics.observe(
+                        "repro_prefetch_wait_seconds", time.perf_counter() - start,
+                        "Main-thread stall behind an in-flight prefetch build.",
+                    )
                 snap, from_prefetch = self._csr_cache.get(key)
             if snap is not None:
                 self._install(snap, key[1])

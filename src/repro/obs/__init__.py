@@ -1,13 +1,21 @@
-"""Observability: tracing, run manifests, and metric exports.
+"""Observability: tracing, live metrics, run manifests, and exports.
 
-The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
+The subsystem's parts (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.tracer` — nested spans over the hot paths (executor,
   kernels, graph updates, trainer), with allocator bytes and profiler
   counter deltas captured at span boundaries.  Disabled by default via a
   zero-overhead :class:`NullTracer`; enable per run with :func:`use_tracer`.
+* :mod:`repro.obs.metrics` — the labeled :class:`MetricRegistry` with
+  streaming log-bucket latency :class:`Histogram` s (p50/p95/p99); one
+  lives on every device as ``device.metrics``.
+* :mod:`repro.obs.server` — the opt-in stdlib HTTP telemetry server
+  (``/metrics``, ``/healthz``, ``/progress``) for live scrapes mid-run.
+* :mod:`repro.obs.flight` — the bounded :class:`FlightRecorder` ring
+  buffer, drained to ``flight.jsonl`` on aborts/fallbacks/kills.
 * :mod:`repro.obs.exporters` — Chrome ``chrome://tracing`` JSON, a flat
-  JSONL event log, and a Prometheus text dump of the metric registry.
+  JSONL event log, and the Prometheus text renderer shared by post-hoc
+  dumps and the live ``/metrics`` endpoint.
 * :mod:`repro.obs.manifest` — the :class:`RunManifest` written per
   bench/train run (git rev, plan ids, dataset/graph kind, cache config,
   per-phase totals) so result trajectories are self-describing.
@@ -16,11 +24,29 @@ The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
 from repro.obs.exporters import (
     chrome_trace,
     prometheus_text,
+    snapshot_registry,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
 )
+from repro.obs.flight import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    current_flight_recorder,
+    use_flight_recorder,
+)
 from repro.obs.manifest import RunManifest, build_run_manifest, git_revision
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+    log_buckets,
+)
+from repro.obs.server import TelemetryServer, TrainingProgress
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -41,8 +67,23 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "prometheus_text",
+    "snapshot_registry",
     "write_prometheus",
     "RunManifest",
     "build_run_manifest",
     "git_revision",
+    "MetricRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "log_buckets",
+    "TelemetryServer",
+    "TrainingProgress",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "current_flight_recorder",
+    "use_flight_recorder",
 ]

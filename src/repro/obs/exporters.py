@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.metrics import MetricRegistry, prom_escape
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.device.device import Device
@@ -28,6 +30,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "prometheus_text",
+    "snapshot_registry",
     "write_prometheus",
 ]
 
@@ -107,74 +110,71 @@ def write_jsonl(events: "Iterable[SpanEvent]", path: str) -> str:
 
 
 def _prom_escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return prom_escape(value)
 
 
-def _prom_lines(metric: str, kind: str, help_text: str,
-                samples: Mapping[tuple[tuple[str, str], ...], float]) -> list[str]:
-    lines = [f"# HELP {metric} {help_text}", f"# TYPE {metric} {kind}"]
-    for labels, value in samples.items():
-        if labels:
-            label_str = ",".join(f'{k}="{_prom_escape(v)}"' for k, v in labels)
-            lines.append(f"{metric}{{{label_str}}} {value:g}")
-        else:
-            lines.append(f"{metric} {value:g}")
-    return lines
+def snapshot_registry(device: "Device", tracer: "Tracer | None" = None) -> MetricRegistry:
+    """A throwaway registry holding everything a scrape should expose.
+
+    The legacy totals (profiler phases/counters, allocator residency,
+    kernel-launcher sums, tracer span aggregates) are snapshotted into
+    fresh families in their historical order and names, then the device's
+    *live* registry (``device.metrics`` — the latency histograms) is
+    merged in.  Both the post-hoc dump and the live ``/metrics`` endpoint
+    render the result through :meth:`MetricRegistry.render`, so there is
+    exactly one code path deciding names, labels, and escaping.
+    """
+    reg = MetricRegistry()
+    profiler = device.profiler
+    phases = reg.counter(
+        "repro_phase_seconds_total", "Accumulated wall seconds per profiler phase.")
+    for name, seconds in profiler.phase_seconds().items():
+        phases.labels(phase=name).inc(seconds)
+    events = reg.counter(
+        "repro_events_total", "Accumulated event counts (cache reuse etc.).")
+    for name, count in profiler.counters().items():
+        events.labels(event=name).inc(float(count))
+    tracker = device.tracker
+    reg.gauge("repro_memory_current_bytes",
+              "Bytes currently device-resident.").labels().set(float(tracker.current_bytes))
+    reg.gauge("repro_memory_peak_bytes",
+              "High-water mark of device residency.").labels().set(float(tracker.peak_bytes))
+    by_tag = tracker.bytes_by_tag()
+    if by_tag:
+        fam = reg.gauge("repro_memory_tag_bytes", "Current resident bytes per allocation tag.")
+        for tag, b in sorted(by_tag.items()):
+            fam.labels(tag=tag or "untagged").set(float(b))
+    peak_by_tag = tracker.peak_bytes_by_tag()
+    if peak_by_tag:
+        fam = reg.gauge("repro_memory_tag_peak_bytes", "Peak resident bytes per allocation tag.")
+        for tag, b in sorted(peak_by_tag.items()):
+            fam.labels(tag=tag or "untagged").set(float(b))
+    reg.counter("repro_kernel_launches_total",
+                "Kernel launches on this device.").labels().inc(float(device.launcher.launch_count))
+    reg.counter("repro_kernel_seconds_total",
+                "Wall seconds inside launched kernels.").labels().inc(device.launcher.launch_seconds)
+    if tracer is not None:
+        fam = reg.counter("repro_span_self_seconds_total",
+                          "Span self time (duration minus children) per category.")
+        for cat, seconds in sorted(tracer.aggregate_by_cat().items()):
+            fam.labels(cat=cat).inc(seconds)
+    live = getattr(device, "metrics", None)
+    if live is not None:
+        reg.merge(live)
+    return reg
 
 
 def prometheus_text(device: "Device", tracer: "Tracer | None" = None) -> str:
     """Prometheus text-format dump of the device's metric registry.
 
     Covers the profiler's phase timers and event counters, the allocator's
-    current/peak residency (global and per tag), kernel-launcher totals, and
-    — when a tracer is supplied — per-category span self-time aggregates.
+    current/peak residency (global and per tag), kernel-launcher totals,
+    the device's live :class:`~repro.obs.metrics.MetricRegistry` (latency
+    histograms etc.), and — when a tracer is supplied — per-category span
+    self-time aggregates.  The live ``/metrics`` telemetry endpoint serves
+    this exact function, so post-hoc dumps and scrapes cannot drift.
     """
-    lines: list[str] = []
-    profiler = device.profiler
-    lines += _prom_lines(
-        "repro_phase_seconds_total", "counter", "Accumulated wall seconds per profiler phase.",
-        {(("phase", name),): seconds for name, seconds in profiler.phase_seconds().items()},
-    )
-    lines += _prom_lines(
-        "repro_events_total", "counter", "Accumulated event counts (cache reuse etc.).",
-        {(("event", name),): float(count) for name, count in profiler.counters().items()},
-    )
-    tracker = device.tracker
-    lines += _prom_lines(
-        "repro_memory_current_bytes", "gauge", "Bytes currently device-resident.",
-        {(): float(tracker.current_bytes)},
-    )
-    lines += _prom_lines(
-        "repro_memory_peak_bytes", "gauge", "High-water mark of device residency.",
-        {(): float(tracker.peak_bytes)},
-    )
-    by_tag = tracker.bytes_by_tag()
-    if by_tag:
-        lines += _prom_lines(
-            "repro_memory_tag_bytes", "gauge", "Current resident bytes per allocation tag.",
-            {(("tag", tag or "untagged"),): float(b) for tag, b in sorted(by_tag.items())},
-        )
-    peak_by_tag = tracker.peak_bytes_by_tag()
-    if peak_by_tag:
-        lines += _prom_lines(
-            "repro_memory_tag_peak_bytes", "gauge", "Peak resident bytes per allocation tag.",
-            {(("tag", tag or "untagged"),): float(b) for tag, b in sorted(peak_by_tag.items())},
-        )
-    lines += _prom_lines(
-        "repro_kernel_launches_total", "counter", "Kernel launches on this device.",
-        {(): float(device.launcher.launch_count)},
-    )
-    lines += _prom_lines(
-        "repro_kernel_seconds_total", "counter", "Wall seconds inside launched kernels.",
-        {(): device.launcher.launch_seconds},
-    )
-    if tracer is not None:
-        lines += _prom_lines(
-            "repro_span_self_seconds_total", "counter",
-            "Span self time (duration minus children) per category.",
-            {(("cat", cat),): seconds for cat, seconds in sorted(tracer.aggregate_by_cat().items())},
-        )
-    return "\n".join(lines) + "\n"
+    return snapshot_registry(device, tracer).render()
 
 
 def write_prometheus(device: "Device", path: str, tracer: "Tracer | None" = None) -> str:

@@ -1,0 +1,186 @@
+"""Bounded flight recorder: the last N events, dumped when things go wrong.
+
+The tracer answers "what happened during this run?" — but only if you
+asked for a trace up front, and only after the run ends.  The flight
+recorder answers the incident-response question: *what were the last
+things the process did before it died?*  It keeps a per-thread ring
+buffer of the most recent ``capacity`` events (timestamp marks, fault
+injections, span-level notes, counter bumps) at O(1) append cost, and
+**drains** the merged window into a ``flight.jsonl`` artifact whenever a
+failure edge fires:
+
+* :meth:`~repro.core.executor.TemporalExecutor.abort_sequence` (a
+  mid-sequence teardown),
+* a degradation-ladder engine fallback (``repro.core.module``),
+* a :class:`~repro.resilience.faults.SimulatedKill` (boundary or
+  mid-sequence — the injector drains *before* raising, since a boundary
+  kill never reaches ``abort_sequence``).
+
+Like the tracer, the recorder is off by default through a zero-overhead
+:class:`NullFlightRecorder`; ``repro train --flight-recorder out.jsonl``
+and ``repro chaos --flight-recorder out.jsonl`` install a real one via
+:func:`use_flight_recorder`.  The context stack is thread-local over a
+process default (see :mod:`repro.util.ctxstack`), so worker threads see
+the null recorder unless handed the real one explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.util.ctxstack import ContextStack
+
+__all__ = [
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "current_flight_recorder",
+    "use_flight_recorder",
+]
+
+
+class FlightRecorder:
+    """Per-thread ring buffers of recent events, drained to JSONL on failure.
+
+    Parameters
+    ----------
+    capacity:
+        Events kept *per thread*; older events fall off the ring.
+    path:
+        Default artifact path for :meth:`drain` (a drain can override it).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 256, path: str | os.PathLike | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.path = os.fspath(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._rings: dict[int, deque] = {}
+        self._tls = threading.local()
+        self.total_recorded = 0
+        self.drains: list[dict[str, Any]] = []
+
+    def _ring(self) -> deque:
+        ring = getattr(self._tls, "ring", None)
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._tls.ring = ring
+            with self._lock:
+                self._rings[threading.get_ident()] = ring
+        return ring
+
+    def record(self, kind: str, name: str, **fields: Any) -> None:
+        """Append one event to the calling thread's ring (O(1), lock-free).
+
+        ``kind`` is a coarse taxonomy — ``"mark"`` (progress breadcrumbs
+        like timestamp boundaries), ``"fault"`` (injected faults),
+        ``"span"`` (notable span edges), ``"counter"`` (counter bumps).
+        """
+        event = {
+            "ts": time.time(),
+            "tid": threading.get_ident(),
+            "kind": kind,
+            "name": name,
+        }
+        if fields:
+            event.update(fields)
+        self._ring().append(event)
+        self.total_recorded += 1
+
+    def events(self) -> list[dict[str, Any]]:
+        """The merged window across all threads, oldest first."""
+        with self._lock:
+            rings = list(self._rings.values())
+        merged: list[dict[str, Any]] = []
+        for ring in rings:
+            merged.extend(ring)
+        merged.sort(key=lambda e: e["ts"])
+        return merged
+
+    def drain(self, reason: str, path: str | os.PathLike | None = None) -> int:
+        """Append the current window to the JSONL artifact; returns #events.
+
+        The artifact is append-mode JSONL: each drain writes one header
+        record (``{"flight_drain": reason, ...}``) followed by the merged
+        event window, so a chaos run with several kills yields several
+        windows in one file.  With no path configured the drain is still
+        accounted (so reports can assert the recorder fired) but nothing
+        is written.
+        """
+        events = self.events()
+        target = os.fspath(path) if path is not None else self.path
+        self.drains.append({
+            "reason": reason,
+            "events": len(events),
+            "path": target,
+            "ts": time.time(),
+        })
+        if target is None:
+            return len(events)
+        parent = os.path.dirname(os.path.abspath(target))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with self._lock:  # one drain writes at a time; records stay lock-free
+            with open(target, "a") as fh:
+                header = {
+                    "flight_drain": reason,
+                    "ts": time.time(),
+                    "events": len(events),
+                    "capacity": self.capacity,
+                }
+                fh.write(json.dumps(header) + "\n")
+                for event in events:
+                    fh.write(json.dumps(event) + "\n")
+        return len(events)
+
+    def drain_count(self) -> int:
+        return len(self.drains)
+
+
+class NullFlightRecorder:
+    """Zero-overhead stand-in when no flight recorder is installed."""
+
+    enabled = False
+    capacity = 0
+    path = None
+    total_recorded = 0
+    drains: list[dict[str, Any]] = []
+
+    def record(self, kind: str, name: str, **fields: Any) -> None:
+        pass
+
+    def events(self) -> list[dict[str, Any]]:
+        return []
+
+    def drain(self, reason: str, path: str | os.PathLike | None = None) -> int:
+        return 0
+
+    def drain_count(self) -> int:
+        return 0
+
+
+#: The process-wide default: recording disabled.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()
+
+_STACK: ContextStack[FlightRecorder | NullFlightRecorder] = ContextStack(NULL_FLIGHT_RECORDER)
+
+
+def current_flight_recorder() -> FlightRecorder | NullFlightRecorder:
+    """The innermost active recorder (the null recorder unless installed)."""
+    return _STACK.current()
+
+
+@contextmanager
+def use_flight_recorder(recorder: FlightRecorder) -> Iterator[FlightRecorder]:
+    """Run a block with ``recorder`` installed on this thread."""
+    with _STACK.use(recorder):
+        yield recorder

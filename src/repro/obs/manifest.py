@@ -80,6 +80,10 @@ class RunManifest:
     retries: int = 0
     engine_fallbacks: int = 0
     resumed_from: str | None = None
+    #: events captured by the run's flight recorder (0 when none was armed)
+    #: and how many times its ring was drained to a ``flight.jsonl`` window
+    flight_recorder_events: int = 0
+    flight_recorder_drains: int = 0
     #: free-form per-run results (losses, epoch times, figure params)
     results: dict[str, Any] = field(default_factory=dict)
 
@@ -125,6 +129,7 @@ def build_run_manifest(
     ``docs/COMPILER.md`` §7 cache keys.
     """
     from repro.compiler.plan import plan_cache
+    from repro.obs.flight import current_flight_recorder
     from repro.resilience.faults import current_injector
 
     cache = plan_cache()
@@ -154,6 +159,8 @@ def build_run_manifest(
         retries=device.profiler.counter("kernel_retries"),
         engine_fallbacks=device.profiler.counter("engine_fallbacks"),
         resumed_from=resumed_from,
+        flight_recorder_events=current_flight_recorder().total_recorded,
+        flight_recorder_drains=current_flight_recorder().drain_count(),
         results=dict(results or {}),
     )
     if tracer is not None:

@@ -70,15 +70,24 @@ class ChaosReport:
     counters: dict[str, int]
     executor_stats: dict[str, int]
     manifest: Any = field(repr=False, default=None)
+    #: flight-recorder summary when one was armed (``--flight-recorder``):
+    #: {path, events_recorded, drains, captured_fault_window}
+    flight_recorder: dict | None = None
 
     @property
     def ok(self) -> bool:
         """The full resilience contract held."""
+        recorder_ok = (
+            self.flight_recorder is None
+            or not self.plan.get("sites")
+            or self.flight_recorder.get("captured_fault_window", False)
+        )
         return (
             self.bitwise_identical
             and self.drained_after_each_kill
             and self.plan_exhausted
             and self.ladder_ok
+            and recorder_ok
         )
 
     def to_dict(self) -> dict:
@@ -108,6 +117,13 @@ class ChaosReport:
             f"  plan exhausted   : {'yes' if self.plan_exhausted else 'NO'}",
             f"  bitwise losses   : {'identical' if self.bitwise_identical else 'DIVERGED'}",
         ]
+        if self.flight_recorder is not None:
+            fr = self.flight_recorder
+            lines.append(
+                f"  flight recorder  : {fr.get('events_recorded', 0)} events, "
+                f"{fr.get('drains', 0)} drains -> {fr.get('path') or '(unwritten)'}"
+                f" [{'captured' if fr.get('captured_fault_window') else 'MISSED'}]"
+            )
         if not self.bitwise_identical:
             lines.append(f"    reference: {self.reference_losses}")
             lines.append(f"    chaos    : {self.chaos_losses}")
@@ -143,6 +159,7 @@ def run_chaos(
     tracer: Any | None = None,
     max_resumes: int = 8,
     engine: str | None = None,
+    flight_recorder: str | pathlib.Path | None = None,
 ) -> ChaosReport:
     """Run the chaos schedule for ``plan``; returns a :class:`ChaosReport`.
 
@@ -153,11 +170,17 @@ def run_chaos(
     exported Chrome trace.  ``engine`` selects the execution engine for
     both the reference and the chaos run (``repro chaos --engine
     compiled`` exercises the compiled → kernel → interpreter ladder).
+    ``flight_recorder`` arms a :class:`~repro.obs.flight.FlightRecorder`
+    on the chaos run; every kill/abort/fallback appends its last-N-events
+    window to the given JSONL path, and the report (plus its ``ok``
+    verdict, when the plan has sites) asserts the fault window was
+    actually captured.
     """
     import numpy as np
 
     from repro.dataset.dynamic_datasets import DYNAMIC_DATASETS
     from repro.device import Device, use_device
+    from repro.obs.flight import FlightRecorder, use_flight_recorder
     from repro.obs.manifest import build_run_manifest
     from repro.obs.tracer import use_tracer
     from repro.tensor import init
@@ -193,7 +216,11 @@ def run_chaos(
     kills = 0
     drained = True
     tracer_ctx = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
-    with use_device(device), use_fault_plan(injector), tracer_ctx:
+    recorder = FlightRecorder(path=flight_recorder) if flight_recorder is not None else None
+    recorder_ctx = (
+        use_flight_recorder(recorder) if recorder is not None else contextlib.nullcontext()
+    )
+    with use_device(device), use_fault_plan(injector), tracer_ctx, recorder_ctx:
         while True:
             trainer = fresh_trainer()
             try:
@@ -244,6 +271,19 @@ def run_chaos(
     bitwise = len(chaos_losses) == len(reference_losses) and all(
         np.float64(a) == np.float64(b) for a, b in zip(chaos_losses, reference_losses)
     )
+    flight_summary = None
+    if recorder is not None:
+        # "Captured the fault window" = at least one drained window, and a
+        # planned fault actually landed in the ring before a drain fired.
+        captured = bool(recorder.drains) and any(
+            d["events"] > 0 for d in recorder.drains
+        )
+        flight_summary = {
+            "path": recorder.path,
+            "events_recorded": recorder.total_recorded,
+            "drains": recorder.drain_count(),
+            "captured_fault_window": captured if plan.sites else True,
+        }
     return ChaosReport(
         plan=plan.to_dict(),
         dataset=ds.name,
@@ -261,4 +301,5 @@ def run_chaos(
         counters=counters,
         executor_stats=trainer.executor.stats(),
         manifest=manifest,
+        flight_recorder=flight_summary,
     )

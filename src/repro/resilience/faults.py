@@ -290,12 +290,24 @@ class FaultInjector:
         # Lazy imports: this module sits under the allocator/launcher and
         # must not create import cycles with repro.device.
         from repro.device import current_device
+        from repro.obs.flight import current_flight_recorder
         from repro.obs.tracer import current_tracer
 
         current_device().profiler.count("faults_injected")
         tracer = current_tracer()
         if tracer.enabled:
             tracer.instant(f"fault.{kind}", "fault", **record)
+        recorder = current_flight_recorder()
+        if recorder.enabled:
+            # The record dict's own "kind" key (the fault kind) would
+            # collide with the event-kind parameter.
+            fields = {k: v for k, v in record.items() if k != "kind"}
+            recorder.record("fault", f"fault.{kind}", **fields)
+            if kind == "kill":
+                # A kill is about to unwind as a BaseException; boundary
+                # kills never reach abort_sequence, so the drain must
+                # happen here, before the raise.
+                recorder.drain("simulated_kill")
         return site
 
     def fire(self, kind: str) -> None:

@@ -20,7 +20,10 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.executor import TemporalExecutor
+from repro.device import current_device
 from repro.graph.base import STGraphBase
+from repro.obs.flight import current_flight_recorder
+from repro.obs.server import TelemetryServer, TrainingProgress
 from repro.obs.tracer import current_tracer
 from repro.resilience.faults import BOUNDARY, current_injector
 from repro.tensor import functional as F
@@ -59,6 +62,7 @@ class STGraphTrainer:
         link_samples: Sequence[LinkSamples] | None = None,
         pipeline: int = 0,
         engine: str | None = None,
+        telemetry_port: int | None = None,
     ) -> None:
         if task not in ("regression", "link_prediction"):
             raise ValueError(f"unknown task {task!r}")
@@ -82,6 +86,12 @@ class STGraphTrainer:
         #: checkpoint path this run resumed from (None for a fresh run);
         #: surfaced in the RunManifest's ``resumed_from`` field.
         self.resumed_from: str | None = None
+        # telemetry_port = opt-in live scrape endpoint (0 = ephemeral port);
+        # None keeps training headless.  The server runs on a daemon thread
+        # for the duration of train() and never touches the numerics.
+        self.telemetry_port = telemetry_port
+        self.telemetry_server: TelemetryServer | None = None
+        self.progress = TrainingProgress()
 
     def _loss_at(self, t: int, pred: Tensor, targets) -> Tensor:
         if self.task == "regression":
@@ -126,6 +136,23 @@ class STGraphTrainer:
         """
         tracer = current_tracer()
         injector = current_injector()
+        recorder = current_flight_recorder()
+        # Live latency histograms: children resolved once per epoch so the
+        # per-timestamp cost is one perf_counter pair + one observe().
+        metrics = current_device().metrics
+        engine = self.executor.engine
+        engine_label = engine.name if engine is not None else "default"
+        if metrics.enabled:
+            ts_hist = metrics.histogram(
+                "repro_timestamp_seconds",
+                "Per-timestamp executor latency (forward step incl. graph update).",
+            ).labels(engine=engine_label)
+            opt_hist = metrics.histogram(
+                "repro_optimizer_step_seconds", "Optimizer step latency.",
+            ).labels()
+        else:
+            ts_hist = opt_hist = None
+        progress = self.progress if self.telemetry_server is not None else None
         total_timestamps = len(features)
         seq_len = self.sequence_length or total_timestamps
         start = time.perf_counter()
@@ -143,17 +170,31 @@ class STGraphTrainer:
                         for t in seq:  # forward over the sequence (Alg. 1 lines 8-16)
                             injector.at_timestamp(t)
                             injector.fire("kill")
+                            ts_start = time.perf_counter()
                             with tracer.span(f"timestamp[{t}]", "train", t=t):
                                 self.executor.begin_timestamp(t)
                                 pred, state = self.model.step(self.executor, Tensor(features[t]), state)
                                 acc.add(self._loss_at(t, pred, targets))
+                            if ts_hist is not None:
+                                ts_hist.observe(time.perf_counter() - ts_start)
+                            if recorder.enabled:
+                                recorder.record("mark", "timestamp", t=t,
+                                                epoch=epoch_index, sequence=seq_index)
+                            if progress is not None:
+                                progress.update(epoch=epoch_index, sequence=seq_index,
+                                                timestamp=t)
                         self.executor.end_sequence_forward()
                         with tracer.span("backward", "train", start=seq.start, stop=seq.stop):
                             acc.total.backward()  # LIFO backward (Alg. 1 lines 18-25)
                         self.executor.check_drained()
+                        opt_start = time.perf_counter()
                         with tracer.span("optimizer", "optimizer"):
                             self.optimizer.step()
+                        if opt_hist is not None:
+                            opt_hist.observe(time.perf_counter() - opt_start)
                         epoch_loss += acc.total.item()
+                        if progress is not None:
+                            progress.update(epoch_loss=epoch_loss)
                     except BaseException:
                         self.executor.abort_sequence()
                         raise
@@ -165,6 +206,8 @@ class STGraphTrainer:
                     boundary_hook(epoch_index, seq_index, epoch_loss)
                 injector.fire("kill")
         self.epoch_times.append(time.perf_counter() - start)
+        if progress is not None:
+            progress.update(epochs_completed=epoch_index + 1, loss=epoch_loss)
         return epoch_loss
 
     def train(
@@ -200,6 +243,7 @@ class STGraphTrainer:
         self.resumed_from = None
         if pipeline is not None:
             self.executor.set_pipeline(int(pipeline))
+        self.start_telemetry()
         try:
             return self._train_impl(
                 features, targets, epochs, warmup,
@@ -209,6 +253,31 @@ class STGraphTrainer:
             )
         finally:
             self.executor.shutdown()
+            self.stop_telemetry()
+
+    def start_telemetry(self) -> int | None:
+        """Start the scrape endpoint if ``telemetry_port`` was given.
+
+        Idempotent; returns the bound port (useful with ``telemetry_port=0``)
+        or None when telemetry is off.  ``train()`` calls this itself, but
+        callers that need the URL before training starts (the CLI does) can
+        call it first — the run's ``finally`` still stops the server.
+        """
+        if self.telemetry_port is None:
+            return None
+        if self.telemetry_server is None:
+            server = TelemetryServer(
+                current_device(), port=self.telemetry_port, progress=self.progress,
+            )
+            server.start()
+            self.telemetry_server = server
+        return self.telemetry_server.port
+
+    def stop_telemetry(self) -> None:
+        """Stop the scrape endpoint (no-op when none is running)."""
+        server, self.telemetry_server = self.telemetry_server, None
+        if server is not None:
+            server.stop()
 
     def _train_impl(
         self,
