@@ -487,6 +487,54 @@ def _lint_example_specs() -> list:
     return specs
 
 
+def _cmd_lint_concurrency(args: argparse.Namespace) -> int:
+    """``repro lint --concurrency``: lock-discipline static analysis gate.
+
+    Analyzes the installed ``repro`` package sources (or ``--path``) with
+    :mod:`repro.analysis.lockcheck`, subtracts the committed baseline, and
+    fails on any *new* finding.  ``--write-baseline`` re-fingerprints the
+    current findings instead (each new entry still needs a human
+    justification edited into the JSON before it should be committed).
+    """
+    from pathlib import Path
+
+    from repro.analysis.lockcheck import (
+        analyze_path,
+        apply_baseline,
+        default_baseline_path,
+        load_baseline,
+        write_baseline,
+    )
+
+    root = Path(args.path) if args.path else Path(__file__).resolve().parent
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    report = analyze_path(root)
+
+    if args.write_baseline:
+        entries = write_baseline(report, baseline_path)
+        print(f"wrote {len(entries)} baseline entr{'y' if len(entries) == 1 else 'ies'} "
+              f"to {baseline_path}")
+        missing = [e for e in entries if e.justification.startswith("TODO")]
+        if missing:
+            print(f"  {len(missing)} entr(ies) need a justification before commit")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, baselined, unused = apply_baseline(report, baseline)
+    for diag in new.diagnostics:
+        print(f"  {diag.render()}")
+    if baselined:
+        print(f"  {len(baselined)} baselined finding(s) suppressed "
+              f"({baseline_path.name})")
+    for entry in unused:
+        print(f"  note: stale baseline entry {entry.code} at {entry.where} "
+              "no longer fires; remove it")
+    errors, warnings = len(new.errors), len(new.warnings)
+    print(f"concurrency lint over {root}: {errors} new error(s), "
+          f"{warnings} new warning(s)")
+    return 1 if errors else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.compiler import plan_cache, verify_plan, verification_disabled
     from repro.compiler.diagnostics import code_table
@@ -495,6 +543,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for code, severity, description in code_table():
             print(f"{code}  {severity:<7s}  {description}")
         return 0
+
+    if args.concurrency or args.write_baseline:
+        return _cmd_lint_concurrency(args)
 
     cache = plan_cache()
     # Build with the verifier off so broken programs *report* instead of
@@ -614,7 +665,20 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--examples", action="store_true",
                         help="also verify vertex programs registered via LINT_SPECS in examples/")
     p_lint.add_argument("--codes", action="store_true",
-                        help="print the STG0xx diagnostic code table and exit")
+                        help="print the diagnostic code table (STG0xx/STG1xx compiler, "
+                             "STG2xx concurrency) and exit")
+    p_lint.add_argument("--concurrency", action="store_true",
+                        help="run the lock-discipline static analyzer (STG2xx) over the "
+                             "installed repro sources; exits non-zero on non-baselined errors")
+    p_lint.add_argument("--path", default=None, metavar="DIR",
+                        help="analyze DIR instead of the installed repro package "
+                             "(with --concurrency)")
+    p_lint.add_argument("--baseline", default=None, metavar="JSON",
+                        help="baseline file for --concurrency (default: the committed "
+                             "src/repro/analysis/BASELINE.json)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="refingerprint current --concurrency findings into the baseline "
+                             "instead of gating on them")
 
     p_trace = sub.add_parser("trace", help="short traced TGCN run on a generated DTDG")
     p_trace.add_argument("--out", metavar="OUT.json", default="traces/run.json")

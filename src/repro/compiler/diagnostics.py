@@ -10,8 +10,10 @@ through the tracer (as ``verify`` instant events) and the run manifest.
 The code registry below is the single source of truth: each code has a
 fixed default severity and a one-line description (rendered into the
 ``repro lint`` output and the docs/COMPILER.md error table), and every code
-is provoked by at least one mutation test in
-``tests/test_compiler_verify.py``.
+is provoked by at least one mutation test — ``STG0xx`` (compiler verifier)
+in ``tests/test_compiler_verify.py``, ``STG2xx`` (the concurrency
+lock-discipline analyzer, :mod:`repro.analysis.lockcheck` — see
+docs/ANALYSIS.md) in ``tests/test_analysis_lockcheck.py``.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ __all__ = [
     "LintReport",
     "VerifyError",
     "CODES",
+    "CONCURRENCY_CODES",
     "ERROR",
     "WARNING",
     "code_table",
@@ -53,7 +56,20 @@ CODES: dict[str, tuple[str, str]] = {
     "STG022": (ERROR, "backward grad seed does not reference the forward output"),
     # -- write-hazard analysis -----------------------------------------
     "STG030": (ERROR, "non-reduction write from edge space into a node-space buffer (atomic-scatter condition)"),
+    # -- concurrency lock-discipline checks (repro.analysis.lockcheck);
+    #    each provoked by a mutation test in tests/test_analysis_lockcheck.py
+    "STG201": (ERROR, "lock-order cycle across lock sites (potential deadlock)"),
+    "STG202": (ERROR, "attribute written both under and outside its guarding lock (data-race candidate)"),
+    "STG203": (ERROR, "bare .acquire() without with/finally release (lock leak on exception)"),
+    "STG204": (WARNING, "blocking call while holding a foreign lock (stall/deadlock risk)"),
 }
+
+#: The concurrency family (emitted by :mod:`repro.analysis.lockcheck`, not
+#: the compiler verifier) — mutation coverage for these lives in
+#: ``tests/test_analysis_lockcheck.py``.
+CONCURRENCY_CODES: frozenset[str] = frozenset(
+    code for code in CODES if code.startswith("STG2")
+)
 
 
 @dataclass(frozen=True)

@@ -35,10 +35,10 @@ and are totalled in run manifests.  ``REPRO_VERIFY=0`` or
 from __future__ import annotations
 
 import hashlib
-import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
+from repro.analysis.sanitizer import new_rlock
 from repro.compiler.autodiff import build_backward
 from repro.compiler.codegen import (
     compile_program,
@@ -345,7 +345,7 @@ class PlanCache:
 
     def __init__(self) -> None:
         self._plans: dict[str, ProgramPlan] = {}
-        self._lock = threading.RLock()
+        self._lock = new_rlock("PlanCache._lock")
         self.hits = 0
         self.misses = 0
 

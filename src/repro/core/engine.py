@@ -34,11 +34,11 @@ from __future__ import annotations
 
 import abc
 import contextlib
-import threading
 from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.analysis.sanitizer import new_lock
 from repro.compiler.interp import trace_execution
 from repro.compiler.plan import ProgramPlan
 from repro.compiler.tir import IMPLICIT_ONES
@@ -197,7 +197,7 @@ class CompiledEngine(ExecutionEngine):
 
         self.backend = native_backend()  # "numba" | "c" | None
         self._drivers: dict[str, tuple] = {}
-        self._lock = threading.Lock()
+        self._lock = new_lock("CompiledEngine._lock")
         if self.backend is not None:
             from repro.compiler.plan import register_plan_build_hook
 

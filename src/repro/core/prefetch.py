@@ -43,6 +43,7 @@ import threading
 import time
 from collections import deque
 
+from repro.analysis.sanitizer import new_condition
 from repro.device import current_device, use_device
 from repro.obs.tracer import current_tracer, use_tracer
 
@@ -72,7 +73,7 @@ class PrefetchScheduler:
         self.builder = graph.snapshot_builder()
         self._cache = graph._csr_cache
         self._num_ts = int(graph.dtdg.num_timestamps)
-        self._cv = threading.Condition()
+        self._cv = new_condition(name="PrefetchScheduler._cv")
         self._pending: deque[int] = deque()
         self._queued: set[int] = set()
         self._thread: threading.Thread | None = None
@@ -104,7 +105,11 @@ class PrefetchScheduler:
         # prefetch builds land in the same run's registries.
         self._device = current_device()
         self._tracer = current_tracer()
-        self._stopping = False
+        # `_stopping` is condvar-guarded everywhere else (stop() flips it
+        # under `_cv` before notifying); keep the restart path disciplined
+        # too so a stop() racing a lazy restart cannot lose its flag.
+        with self._cv:
+            self._stopping = False
         self.graph.attach_prefetcher(True)
         self._thread = threading.Thread(
             target=self._run, name="repro-prefetch", daemon=True
@@ -231,7 +236,11 @@ class PrefetchScheduler:
                     "Worker-side staged snapshot build latency.",
                 )
         except BaseException as exc:  # keep the loop alive; graph degrades
-            if self.worker_error is None:
-                self.worker_error = exc
+            # First error wins, recorded under the condvar: the training
+            # thread reads `worker_error` to decide whether to degrade, and
+            # an unguarded write from here would race that read.
+            with self._cv:
+                if self.worker_error is None:
+                    self.worker_error = exc
         finally:
             cache.clear_inflight(ts)

@@ -14,12 +14,12 @@ allow a benchmark to measure the peak over a region, mirroring
 
 from __future__ import annotations
 
-import threading
 import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitizer import new_lock
 from repro.resilience.faults import current_injector
 
 __all__ = ["AllocationRecord", "MemoryTracker", "DeviceAllocator"]
@@ -45,7 +45,7 @@ class MemoryTracker:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("MemoryTracker._lock")
         self._current = 0
         self._peak = 0
         self._total_allocated = 0
@@ -60,14 +60,14 @@ class MemoryTracker:
 
     def _account_add(self, nbytes: int, tag: str) -> None:
         """Lock held: add ``nbytes`` to the global and per-tag accounting."""
-        self._current += nbytes
-        self._total_allocated += nbytes
+        self._current += nbytes  # lockcheck: ok(caller holds _lock, see docstring)
+        self._total_allocated += nbytes  # lockcheck: ok(caller holds _lock, see docstring)
         if self._current > self._peak:
-            self._peak = self._current
+            self._peak = self._current  # lockcheck: ok(caller holds _lock, see docstring)
         tag_bytes = self._current_by_tag.get(tag, 0) + nbytes
-        self._current_by_tag[tag] = tag_bytes
+        self._current_by_tag[tag] = tag_bytes  # lockcheck: ok(caller holds _lock, see docstring)
         if tag_bytes > self._peak_by_tag.get(tag, 0):
-            self._peak_by_tag[tag] = tag_bytes
+            self._peak_by_tag[tag] = tag_bytes  # lockcheck: ok(caller holds _lock, see docstring)
 
     # ------------------------------------------------------------------
     # Core accounting

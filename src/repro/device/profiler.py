@@ -26,6 +26,8 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analysis.sanitizer import new_lock
+
 __all__ = ["PHASES", "COUNTERS", "PhaseTimer", "Profiler"]
 
 #: The phases the framework itself reports: one-time compilation (plan
@@ -92,7 +94,7 @@ class Profiler:
     def __init__(self) -> None:
         self._phases: dict[str, PhaseTimer] = {}
         self._tls = threading.local()
-        self._lock = threading.Lock()
+        self._lock = new_lock("Profiler._lock")
         self._counters: dict[str, int] = {}
         self.enabled = True
 

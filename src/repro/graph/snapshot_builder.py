@@ -28,13 +28,13 @@ critical path (ROADMAP item 2, MSPipe-style pipelining):
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.analysis.sanitizer import new_condition, new_lock
 from repro.graph.csr import CSR
 from repro.graph.dtdg import DTDG
 from repro.graph.labels import decode_edges, encode_edges
@@ -92,7 +92,7 @@ class SnapshotVersionMap:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("SnapshotVersionMap._lock")
         self._versions: dict[int, int] = {0: 0}
         self._counter = 0
 
@@ -152,8 +152,8 @@ class SnapshotCache:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        self._lock = new_lock("SnapshotCache._lock")
+        self._cond = new_condition(self._lock, "SnapshotCache._cond")
         self._lru: OrderedDict[tuple[int, int], BuiltSnapshot] = OrderedDict()
         self._staged: dict[tuple[int, int], BuiltSnapshot] = {}
         self._inflight: set[int] = set()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.obs.metrics import MetricRegistry, prom_escape
 
@@ -37,7 +37,7 @@ __all__ = [
 _PID = 1  # one "process": the simulated device
 
 
-def chrome_trace(tracer: "Tracer", tid: int = 1) -> dict:
+def chrome_trace(tracer: "Tracer", tid: int = 1) -> dict[str, Any]:
     """The tracer's events as a Chrome-trace JSON object (``traceEvents``).
 
     Every completed span becomes a matched ``B``/``E`` pair; instants become

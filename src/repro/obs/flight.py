@@ -34,6 +34,7 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.analysis.sanitizer import new_lock
 from repro.util.ctxstack import ContextStack
 
 __all__ = [
@@ -63,20 +64,35 @@ class FlightRecorder:
             raise ValueError("flight recorder capacity must be >= 1")
         self.capacity = capacity
         self.path = os.fspath(path) if path is not None else None
-        self._lock = threading.Lock()
-        self._rings: dict[int, deque] = {}
+        self._lock = new_lock("FlightRecorder._lock")
+        self._rings: dict[int, deque[dict[str, Any]]] = {}
+        # Recorded-event totals are kept per thread (a cell registered next
+        # to each ring) and summed on read: a single shared `+= 1` from the
+        # documented lock-free record() path would lose updates under
+        # contention — the first genuine data race the concurrency
+        # analyzer's review of this module turned up.
+        self._counts: dict[int, list[int]] = {}
         self._tls = threading.local()
-        self.total_recorded = 0
         self.drains: list[dict[str, Any]] = []
 
-    def _ring(self) -> deque:
+    def _ring(self) -> deque[dict[str, Any]]:
         ring = getattr(self._tls, "ring", None)
         if ring is None:
             ring = deque(maxlen=self.capacity)
+            cell = [0]
             self._tls.ring = ring
+            self._tls.count = cell
             with self._lock:
-                self._rings[threading.get_ident()] = ring
+                ident = threading.get_ident()
+                self._rings[ident] = ring
+                self._counts[ident] = cell
         return ring
+
+    @property
+    def total_recorded(self) -> int:
+        """Events recorded across all threads (exact, summed under lock)."""
+        with self._lock:
+            return sum(cell[0] for cell in self._counts.values())
 
     def record(self, kind: str, name: str, **fields: Any) -> None:
         """Append one event to the calling thread's ring (O(1), lock-free).
@@ -94,7 +110,7 @@ class FlightRecorder:
         if fields:
             event.update(fields)
         self._ring().append(event)
-        self.total_recorded += 1
+        self._tls.count[0] += 1  # thread-private cell; no lost updates
 
     def events(self) -> list[dict[str, Any]]:
         """The merged window across all threads, oldest first."""

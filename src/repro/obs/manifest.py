@@ -87,7 +87,7 @@ class RunManifest:
     #: free-form per-run results (losses, epoch times, figure params)
     results: dict[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict."""
         return asdict(self)
 

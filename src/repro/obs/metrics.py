@@ -27,9 +27,10 @@ precomputed bounds).
 from __future__ import annotations
 
 import math
-import threading
 from bisect import bisect_left
 from typing import Iterator
+
+from repro.analysis.sanitizer import new_lock
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -89,7 +90,7 @@ class Counter:
     __slots__ = ("_lock", "value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("Counter._lock")
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -105,7 +106,7 @@ class Gauge:
     __slots__ = ("_lock", "value")
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("Gauge._lock")
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -131,7 +132,7 @@ class Histogram:
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
             raise ValueError("histogram bounds must be non-empty and strictly increasing")
-        self._lock = threading.Lock()
+        self._lock = new_lock("Histogram._lock")
         self.bounds = tuple(float(b) for b in bounds)
         self.counts = [0] * len(bounds)
         self.inf_count = 0
@@ -236,7 +237,7 @@ class MetricFamily:
         self.kind = kind
         self.help_text = help_text
         self.buckets = tuple(buckets) if buckets else (DEFAULT_BUCKETS if kind == "histogram" else None)
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricFamily._lock")
         self._children: dict[_LabelKey, Counter | Gauge | Histogram] = {}
 
     def labels(self, **labels: str) -> Counter | Gauge | Histogram:
@@ -304,7 +305,7 @@ class MetricRegistry:
     """
 
     def __init__(self, enabled: bool = True) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricRegistry._lock")
         self._families: dict[str, MetricFamily] = {}
         self.enabled = enabled
 

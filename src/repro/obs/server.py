@@ -25,6 +25,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
+from repro.analysis.sanitizer import new_lock
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.device.device import Device
     from repro.obs.tracer import Tracer
@@ -40,7 +42,7 @@ class TrainingProgress:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("TrainingProgress._lock")
         self._data: dict[str, Any] = {}
 
     def update(self, **fields: Any) -> None:

@@ -39,9 +39,13 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.analysis.sanitizer import new_lock
 from repro.util.ctxstack import ContextStack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.device.device import Device
 
 __all__ = ["SpanEvent", "Tracer", "NullTracer", "NULL_TRACER", "current_tracer", "use_tracer"]
 
@@ -58,7 +62,7 @@ class SpanEvent:
     __slots__ = ("name", "cat", "ts", "dur", "depth", "args", "tid")
 
     def __init__(
-        self, name: str, cat: str, ts: float, dur: float | None, depth: int, args: dict, tid: int = 1
+        self, name: str, cat: str, ts: float, dur: float | None, depth: int, args: dict[str, Any], tid: int = 1
     ) -> None:
         self.name = name
         self.cat = cat
@@ -68,7 +72,7 @@ class SpanEvent:
         self.args = args
         self.tid = tid
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Flat JSON-friendly form (the JSONL exporter's row)."""
         d: dict[str, Any] = {
             "name": self.name,
@@ -88,7 +92,8 @@ class SpanEvent:
 class _OpenSpan:
     __slots__ = ("name", "cat", "start", "child_seconds", "mem_enter", "counters_enter", "args")
 
-    def __init__(self, name: str, cat: str, start: float, mem_enter: int, counters_enter: dict, args: dict) -> None:
+    def __init__(self, name: str, cat: str, start: float, mem_enter: int,
+                 counters_enter: dict[str, int], args: dict[str, Any]) -> None:
         self.name = name
         self.cat = cat
         self.start = start
@@ -169,7 +174,7 @@ class Tracer:
         # can never corrupt the main thread's stack.  Completed events and
         # the two aggregates are shared, merged under one lock.
         self._tls = threading.local()
-        self._lock = threading.Lock()
+        self._lock = new_lock("Tracer._lock")
         self._main_ident = threading.get_ident()
         # thread ident -> display lane (1 = creating thread, 2+ = workers)
         self._lanes: dict[int, int] = {self._main_ident: 1}
@@ -177,16 +182,16 @@ class Tracer:
         # cat -> accumulated self seconds (duration minus child time)
         self._cat_seconds: dict[str, float] = {}
         # name -> [calls, inclusive seconds]
-        self._name_totals: dict[str, list] = {}
+        self._name_totals: dict[str, list[float]] = {}
         self.max_depth = 0
 
     # ------------------------------------------------------------------
-    def _device(self):
+    def _device(self) -> "Device":
         from repro.device import current_device
 
         return current_device()
 
-    def _open_stack(self) -> list:
+    def _open_stack(self) -> list[_OpenSpan]:
         stack = getattr(self._tls, "open", None)
         if stack is None:
             stack = []
@@ -227,7 +232,7 @@ class Tracer:
         finally:
             self._close(open_span, device)
 
-    def _close(self, open_span: _OpenSpan, device) -> None:
+    def _close(self, open_span: _OpenSpan, device: "Device") -> None:
         end = time.perf_counter()
         stack = self._open_stack()
         # Close everything down to (and including) this span: a child left
@@ -240,7 +245,8 @@ class Tracer:
             self._record_closed(top, end, device, stack, depth=len(stack) + 1)
         self._record_closed(open_span, end, device, stack, depth=len(stack))
 
-    def _record_closed(self, span: _OpenSpan, end: float, device, stack: list, depth: int) -> None:
+    def _record_closed(self, span: _OpenSpan, end: float, device: "Device",
+                       stack: list[_OpenSpan], depth: int) -> None:
         dur = end - span.start
         self_seconds = max(0.0, dur - span.child_seconds)
         if stack:
@@ -299,7 +305,7 @@ class Tracer:
         with self._lock:
             return dict(self._cat_seconds)
 
-    def aggregate_by_name(self) -> dict[str, dict]:
+    def aggregate_by_name(self) -> dict[str, dict[str, float]]:
         """Per-span-name call count and inclusive seconds."""
         with self._lock:
             return {

@@ -19,3 +19,17 @@ def fresh_device():
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """The ``REPRO_TSAN=1`` CI gate: any runtime lock-discipline violation
+    observed during the run fails the session, even if every test passed."""
+    from repro.analysis.sanitizer import current_sanitizer
+
+    sanitizer = current_sanitizer()
+    if not getattr(sanitizer, "enabled", False):
+        return
+    cycles = sanitizer.order_cycles()
+    print("\n" + sanitizer.report())
+    if sanitizer.violations or cycles:
+        session.exitstatus = 1

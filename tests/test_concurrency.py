@@ -252,3 +252,74 @@ def test_trainer_shutdown_never_leaks_worker(dynamic_workload):
         )
         trainer.train(ds.features, epochs=1)
     assert _prefetch_threads() == []
+
+
+# ---------------------------------------------------------------------------
+# Builder failure while a snapshot is in flight: waiters must wake
+# ---------------------------------------------------------------------------
+class _GatedExplodingBuilder:
+    """A builder that blocks on a gate, then raises — never stages anything."""
+
+    def __init__(self, gate: threading.Event) -> None:
+        self.gate = gate
+        self.builds = 0
+
+    def build(self, ts: int):
+        self.gate.wait(timeout=10.0)
+        raise RuntimeError(f"builder exploded at t={ts}")
+
+
+class _FakeGraph:
+    """The minimal graph surface a PrefetchScheduler drives."""
+
+    def __init__(self, cache, builder) -> None:
+        self._csr_cache = cache
+        self._versions: dict[int, int] = {}
+        self.dtdg = type("DTDG", (), {"num_timestamps": 4})()
+        self._builder = builder
+        self.prefetcher_attached = False
+
+    def snapshot_builder(self):
+        return self._builder
+
+    def attach_prefetcher(self, flag: bool) -> None:
+        self.prefetcher_attached = flag
+
+
+def test_builder_exception_while_inflight_wakes_condvar_waiters():
+    """Regression: a builder crash between ``mark_inflight`` and ``stage``
+    must still wake every ``wait_not_inflight`` waiter (via the ``finally``
+    ``clear_inflight``) and surface the error on ``worker_error`` — not
+    strand the main thread until its timeout expires."""
+    from repro.core.prefetch import PrefetchScheduler
+    from repro.graph.snapshot_builder import SnapshotCache
+
+    cache = SnapshotCache(capacity=4)
+    gate = threading.Event()
+    graph = _FakeGraph(cache, _GatedExplodingBuilder(gate))
+    sched = PrefetchScheduler(graph, staleness=1)
+    try:
+        assert sched.schedule_ahead(0) == 1  # queues t=1
+        deadline = 50
+        while not cache.inflight(1) and deadline:  # worker inside build()
+            threading.Event().wait(0.02)
+            deadline -= 1
+        assert cache.inflight(1), "worker never marked t=1 in flight"
+
+        woke: list[bool] = []
+        waiter = threading.Thread(
+            target=lambda: woke.append(cache.wait_not_inflight(1, timeout=10.0))
+        )
+        waiter.start()
+        gate.set()  # builder now raises inside the in-flight window
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive(), "waiter stranded after builder crash"
+        assert woke == [True]
+        assert not cache.inflight(1)
+        assert isinstance(sched.worker_error, RuntimeError)
+        assert cache.contains((1, 0)) is False  # nothing was staged
+    finally:
+        gate.set()
+        sched.stop()
+    assert _prefetch_threads() == []
+    assert graph.prefetcher_attached is False
