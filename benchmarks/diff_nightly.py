@@ -114,6 +114,22 @@ def diff(prev: dict, curr: dict) -> list[str]:
         if before.get("backend") != row.get("backend"):
             counter_moves.append(f"backend {before.get('backend')} -> {row.get('backend')}")
         lines.append(f"  {label}: {', '.join(changes + counter_moves) or 'unchanged'}")
+
+    # Serving ablation rows, keyed by mode (coalescing/invalidation on-off).
+    prev_serve = {r.get("mode"): r for r in prev.get("serving_ablation", [])}
+    for row in curr.get("serving_ablation", []):
+        label = f"serving_ablation[mode={row.get('mode')}]"
+        before = prev_serve.get(row.get("mode"))
+        if before is None:
+            lines.append(f"  {label}: (new) p50_ms={row.get('p50_ms')} "
+                         f"p99_ms={row.get('p99_ms')} qps={row.get('qps')}")
+            continue
+        changes = [f"{f} {_pct(before.get(f, 0), row.get(f, 0))}"
+                   for f in ("p50_ms", "p99_ms") if f in row]
+        counter_moves = [f"{f} {row.get(f, 0) - before.get(f, 0):+d}"
+                         for f in ("forwards", "row_cache_hits", "updates")
+                         if row.get(f, 0) != before.get(f, 0)]
+        lines.append(f"  {label}: {', '.join(changes + counter_moves) or 'unchanged'}")
     return lines
 
 

@@ -160,6 +160,51 @@ def _compiled_ablation() -> tuple[list[dict], str]:
     return rows, format_table(rows, title="Compiled-tier ablation (GPMA, kernel vs compiled engine)")
 
 
+def _serving_ablation() -> tuple[list[dict], str]:
+    """Serving ablation: request coalescing and k-hop invalidation on/off.
+
+    The same traffic mix (closed-loop clients plus update-batch churn) runs
+    through the :class:`~repro.serve.InferenceEngine` in three modes; every
+    mode stays bitwise-equal to the serial reference (the serving tests
+    gate that), so what the ablation tracks nightly is p50/p99 latency,
+    throughput, and how much compute the two reuse mechanisms save.
+    """
+    from repro.bench.report import format_table
+    from repro.dataset import load_sx_mathoverflow
+    from repro.device import Device, use_device
+    from repro.serve import InferenceEngine, ServingHarness, random_update_batches
+    from repro.train import STGraphNodeRegressor
+
+    ds = load_sx_mathoverflow(scale=0.02, feature_size=8, max_snapshots=8)
+    feats = ds.features[-1]
+    modes = (
+        ("batched+inval", True, True),
+        ("batched", True, False),
+        ("unbatched", False, True),
+    )
+    rows = []
+    for mode, batching, invalidation in modes:
+        with use_device(Device(name="nightly-serve")):
+            model = STGraphNodeRegressor(ds.feature_size, 16)
+            engine = InferenceEngine(
+                model, ds.build_gpma(), feats,
+                batching=batching, invalidation=invalidation,
+            )
+            updates = random_update_batches(ds.dtdg, 6, seed=13)
+            with engine:
+                report = ServingHarness(
+                    engine, clients=32, requests_per_client=12,
+                    kinds=("embedding", "prediction"),
+                    updates=updates, update_wait=True,
+                    seed=13, collect=False,
+                ).run(timeout=300.0)
+        row = {"mode": mode, **report.row()}
+        rows.append(row)
+    return rows, format_table(
+        rows, title="Serving ablation (coalescing / k-hop invalidation on vs off)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true", help="refresh EXPERIMENTS.md measured data")
@@ -219,6 +264,10 @@ def main(argv: list[str] | None = None) -> int:
     print(compiled_table, "\n")
     sections.append(("Compiled-tier ablation", compiled_table))
 
+    serving_rows, serving_table = _serving_ablation()
+    print(serving_table, "\n")
+    sections.append(("Serving ablation", serving_table))
+
     elapsed = time.perf_counter() - t_start
     print(f"# total harness time: {elapsed:.1f}s")
 
@@ -236,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             "reuse_counters": _nightly_reuse_counters(),
             "pipeline_ablation": pipeline_rows,
             "compiled_ablation": compiled_rows,
+            "serving_ablation": serving_rows,
         }
         args.json.write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")

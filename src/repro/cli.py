@@ -31,6 +31,13 @@ Commands
     off, then run the full verifier suite on each plan and print the
     diagnostics.  ``--codes`` prints the STG0xx code table.  Exit status
     is non-zero iff any program has an error-severity diagnostic.
+``serve --clients 16 --updates 8``
+    Online serving: start an :class:`~repro.serve.InferenceEngine` over a
+    live GPMA graph, drive closed-loop query clients concurrently with
+    update-batch ingest, and report p50/p99 latency, throughput, and the
+    reuse counters.  ``--verify`` bitwise-checks every response against
+    the serial query-after-every-update reference; ``--telemetry-port``
+    serves live ``/metrics`` while the traffic runs (``docs/SERVING.md``).
 
 ``train`` and ``bench`` also accept ``--trace out.json``: the run executes
 under a :class:`~repro.obs.tracer.Tracer` and the same four artifacts are
@@ -575,6 +582,116 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.dataset import DYNAMIC_DATASETS
+    from repro.device import Device, use_device
+    from repro.serve import (
+        InferenceEngine,
+        ServingHarness,
+        random_update_batches,
+        serial_reference,
+    )
+    from repro.tensor import init
+
+    if args.dataset not in DYNAMIC_DATASETS:
+        raise SystemExit(
+            f"serving needs a dynamic (DTDG) dataset; got {args.dataset!r} — see `info`"
+        )
+    engine_name = _resolve_engine(getattr(args, "engine", None))
+    device = Device(name="cli")
+    with use_device(device):
+        init.set_seed(args.seed)
+        ds = DYNAMIC_DATASETS[args.dataset](
+            scale=args.scale, feature_size=args.features, max_snapshots=args.timestamps
+        )
+        print(f"dataset: {ds.summary_row()}")
+        graph = ds.build_gpma()
+        feats = np.ascontiguousarray(ds.features[-1], dtype=np.float32)
+        model = _build_model(args.model, args.features, args.hidden)
+        updates = random_update_batches(graph.dtdg, args.updates, seed=args.seed)
+
+        server = None
+        if args.telemetry_port is not None:
+            from repro.obs.server import TelemetryServer
+
+            server = TelemetryServer(device, port=args.telemetry_port)
+            server.start()
+            print(f"telemetry: {server.url} (/metrics /healthz /progress)")
+        engine = InferenceEngine(
+            model, graph, feats,
+            hops=args.hops, freshness=args.freshness,
+            batching=not args.no_batching,
+            invalidation=not args.no_invalidation,
+            engine=engine_name,
+        )
+        try:
+            with engine:
+                harness = ServingHarness(
+                    engine,
+                    clients=args.clients,
+                    requests_per_client=args.requests,
+                    kinds=("embedding", "prediction"),
+                    updates=updates,
+                    update_wait=args.freshness == 0,
+                    qps=args.qps,
+                    seed=args.seed,
+                    collect=args.verify,
+                )
+                report = harness.run(timeout=args.timeout)
+        finally:
+            if server is not None:
+                server.stop()
+
+        stats = report.engine_stats
+        print(
+            f"served {report.requests} requests in {report.duration_s:.2f}s "
+            f"({report.qps:.0f} qps) across {report.updates_applied} update batches"
+        )
+        print(
+            f"latency: p50 {report.p50_ms:.3f} ms / p99 {report.p99_ms:.3f} ms "
+            f"/ max {report.max_ms:.3f} ms"
+        )
+        print(
+            f"reuse: {stats['forwards']} forwards for {stats['batches_served']} batches, "
+            f"{stats['row_cache_hits']} row-cache hits, "
+            f"{stats['rows_invalidated']} rows invalidated"
+        )
+        mismatches = 0
+        if args.verify:
+            ref = serial_reference(
+                model, graph.dtdg, feats,
+                sorted({r.timestamp for r in report.results}),
+                engine=engine_name,
+            )
+            for res in report.results:
+                expect = ref[res.timestamp][0 if res.kind == "embedding" else 1]
+                if not np.array_equal(res.value, expect[res.vertex]):
+                    mismatches += 1
+            verdict = "bitwise-equal" if mismatches == 0 else f"{mismatches} MISMATCHES"
+            print(f"serial-reference check: {report.requests} responses {verdict}")
+        if args.json:
+            payload = {
+                "config": {
+                    "dataset": args.dataset, "model": args.model,
+                    "clients": args.clients, "requests_per_client": args.requests,
+                    "updates": args.updates, "freshness": args.freshness,
+                    "hops": args.hops, "batching": not args.no_batching,
+                    "invalidation": not args.no_invalidation, "seed": args.seed,
+                },
+                "report": report.row(),
+                "stats": {k: v for k, v in stats.items()},
+                "mismatches": mismatches if args.verify else None,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"report json: {args.json}")
+        return 1 if mismatches else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Short traced training run: ``repro train --trace`` with DTDG defaults."""
     args.trace = args.out
@@ -680,6 +797,48 @@ def main(argv: list[str] | None = None) -> int:
                         help="refingerprint current --concurrency findings into the baseline "
                              "instead of gating on them")
 
+    p_serve = sub.add_parser(
+        "serve", help="request-batched online inference over a live GPMA graph"
+    )
+    p_serve.add_argument("--dataset", default="sx-mathoverflow")
+    p_serve.add_argument("--model", choices=("tgcn", "gconv_gru", "dcrnn"), default="tgcn")
+    p_serve.add_argument("--features", type=int, default=8)
+    p_serve.add_argument("--hidden", type=int, default=16)
+    p_serve.add_argument("--timestamps", type=int, default=8)
+    p_serve.add_argument("--scale", type=float, default=0.02)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="closed-loop query client threads")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="point queries per client")
+    p_serve.add_argument("--updates", type=int, default=8,
+                         help="GPMA update batches ingested during the run")
+    p_serve.add_argument("--freshness", type=int, default=0, metavar="K",
+                         help="staleness bound: serve while up to K ingested update "
+                              "batches are still pending (0 = always fully fresh; "
+                              "mirrors train --pipeline)")
+    p_serve.add_argument("--hops", type=int, default=1,
+                         help="receptive-field hops for dirty-set invalidation "
+                              "(match the model depth)")
+    p_serve.add_argument("--qps", type=float, default=None,
+                         help="per-client pacing (default: maximum rate)")
+    p_serve.add_argument("--timeout", type=float, default=120.0)
+    p_serve.add_argument("--no-batching", action="store_true",
+                         help="ablation: dispatch one forward per query instead of "
+                              "coalescing concurrent requests")
+    p_serve.add_argument("--no-invalidation", action="store_true",
+                         help="ablation: invalidate every vertex on each update batch")
+    p_serve.add_argument("--engine", default=None, metavar="NAME",
+                         help="execution engine for serving forwards")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="bitwise-check every response against the serial "
+                              "query-after-every-update reference (exit 1 on mismatch)")
+    p_serve.add_argument("--telemetry-port", type=int, default=None, metavar="PORT",
+                         help="serve live /metrics on 127.0.0.1:PORT while traffic runs "
+                              "(0 = pick an ephemeral port)")
+    p_serve.add_argument("--json", metavar="OUT.json", default=None,
+                         help="write the serving report + engine counters as JSON")
+
     p_trace = sub.add_parser("trace", help="short traced TGCN run on a generated DTDG")
     p_trace.add_argument("--out", metavar="OUT.json", default="traces/run.json")
     p_trace.add_argument("--dataset", default="sx-mathoverflow")
@@ -703,6 +862,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

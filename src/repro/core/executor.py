@@ -195,6 +195,32 @@ class TemporalExecutor:
         self._bwd_t = None
         return self._fwd_ctx
 
+    def begin_inference(self, t: int) -> GraphContext:
+        """Position for a read-only (serving) forward at timestamp ``t``.
+
+        Like :meth:`begin_timestamp` but with **no Graph-Stack push** and no
+        prefetch scheduling: a serving forward runs under ``no_grad()``, so
+        no backward pass will ever pop the stack, and leaving entries behind
+        would trip :meth:`check_drained`.  Positioning still goes through
+        ``Get-Graph`` and the keyed context LRU, so repeated inference at an
+        unchanged snapshot version reuses the cached CSR artifacts and
+        context with zero Algorithm-3 rebuilds — the read-mostly fast path
+        ``repro.serve`` batches queries onto (docs/SERVING.md).
+        """
+        t = int(t)
+        if not self.graph.is_dynamic:
+            if self._static_ctx is None:
+                self.graph.get_graph(t)
+                self._static_ctx = GraphContext(self.graph)
+            self._fwd_t = t
+            self._fwd_ctx = self._static_ctx
+            return self._fwd_ctx
+        with current_tracer().span("graph_update", "graph_update", t=t, dir="infer"):
+            self.graph.get_graph(t)
+            self._fwd_t = t
+            self._fwd_ctx = self._context_for_current()
+        return self._fwd_ctx
+
     def current_context(self) -> GraphContext:
         """The context prepared by the last ``begin_timestamp``."""
         if self._fwd_ctx is None:

@@ -10,6 +10,7 @@
 
 from repro.graph.base import STGraphBase
 from repro.graph.csr import CSR, build_csr, csr_from_edges, edge_density
+from repro.graph.dirty import k_hop_neighborhood, touched_vertices
 from repro.graph.dtdg import DTDG, EdgeUpdate
 from repro.graph.gpma_graph import GPMAGraph
 from repro.graph.labels import canonical_edge_labels, decode_edges, encode_edges
@@ -26,6 +27,8 @@ __all__ = [
     "edge_density",
     "DTDG",
     "EdgeUpdate",
+    "touched_vertices",
+    "k_hop_neighborhood",
     "StaticGraph",
     "NaiveGraph",
     "GPMAGraph",

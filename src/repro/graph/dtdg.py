@@ -85,6 +85,43 @@ class DTDG:
         """Number of snapshots."""
         return len(self._keys)
 
+    def append_update(self, update: EdgeUpdate) -> int:
+        """Append a live update batch as a new final snapshot (serving ingest).
+
+        The batch is normalized against the current last snapshot so the
+        stored update keeps the constructor's exact-set-difference invariant:
+        adding an edge that already exists (or deleting one that does not) is
+        dropped, and duplicate edges within the batch collapse.  A fully
+        redundant batch still appends a timestamp — its stored update is
+        empty, which GPMA treats as a no-op boundary (the snapshot version is
+        inherited, so caches keyed on version keep hitting).
+
+        Returns the new timestamp index.
+        """
+        for arr in (update.add_src, update.add_dst, update.del_src, update.del_dst):
+            a = np.asarray(arr)
+            if a.size and (a.min() < 0 or a.max() >= self.num_nodes):
+                raise ValueError(
+                    f"update names vertex out of range [0, {self.num_nodes})"
+                )
+        prev = self._keys[-1]
+        add = np.unique(encode_edges(
+            np.asarray(update.add_src, dtype=np.int64),
+            np.asarray(update.add_dst, dtype=np.int64), self.num_nodes,
+        ))
+        delete = np.unique(encode_edges(
+            np.asarray(update.del_src, dtype=np.int64),
+            np.asarray(update.del_dst, dtype=np.int64), self.num_nodes,
+        ))
+        add = np.setdiff1d(add, prev, assume_unique=True)
+        delete = np.intersect1d(delete, prev, assume_unique=True)
+        curr = np.union1d(np.setdiff1d(prev, delete, assume_unique=True), add)
+        self._keys.append(curr)
+        a_src, a_dst = decode_edges(add, self.num_nodes)
+        d_src, d_dst = decode_edges(delete, self.num_nodes)
+        self.updates.append(EdgeUpdate(a_src, a_dst, d_src, d_dst))
+        return self.num_timestamps - 1
+
     def snapshot_edges(self, t: int) -> tuple[np.ndarray, np.ndarray]:
         """The (src, dst) arrays of snapshot ``t`` in sorted key order."""
         return decode_edges(self._keys[t], self.num_nodes)

@@ -86,6 +86,10 @@ class RunManifest:
     flight_recorder_drains: int = 0
     #: free-form per-run results (losses, epoch times, figure params)
     results: dict[str, Any] = field(default_factory=dict)
+    #: serving-layer record (``repro serve`` / ServingHarness runs): the
+    #: ServingReport row plus the engine's reuse counters — empty for
+    #: train/bench runs.  See docs/SERVING.md.
+    serving: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict."""
@@ -120,6 +124,7 @@ def build_run_manifest(
     dataset: str = "",
     results: dict[str, Any] | None = None,
     resumed_from: str | None = None,
+    serving: dict[str, Any] | None = None,
 ) -> RunManifest:
     """Collect a :class:`RunManifest` from the live device/tracer/graph.
 
@@ -162,6 +167,7 @@ def build_run_manifest(
         flight_recorder_events=current_flight_recorder().total_recorded,
         flight_recorder_drains=current_flight_recorder().drain_count(),
         results=dict(results or {}),
+        serving=dict(serving or {}),
     )
     if tracer is not None:
         manifest.run_name = manifest.run_name or tracer.name

@@ -1,0 +1,137 @@
+"""Update ingest for the serving layer.
+
+:class:`UpdateIngest` is the client-facing handle for landing GPMA update
+batches on a live :class:`~repro.serve.engine.InferenceEngine` while it
+serves queries.  Batches are appended to the engine's DTDG as new
+snapshots (normalized to exact set differences), the graph is positioned,
+and only the k-hop dirty neighborhood of the touched vertices is
+invalidated — all on the engine's single dispatcher thread, so every
+interleaving of queries and updates is equivalent to a serial order.
+
+``random_update_batches`` generates reproducible synthetic churn for the
+harness, benchmarks, and CI smoke tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.graph.dtdg import DTDG, EdgeUpdate
+from repro.graph.labels import decode_edges, encode_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.engine import InferenceEngine
+
+__all__ = ["UpdateIngest", "random_update_batches"]
+
+
+def _as_pairs(
+    pairs: tuple[np.ndarray, np.ndarray] | Sequence[tuple[int, int]] | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    if pairs is None:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if isinstance(pairs, tuple) and len(pairs) == 2 and not np.isscalar(pairs[0]):
+        src, dst = pairs
+        return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    arr = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    return arr[:, 0].copy(), arr[:, 1].copy()
+
+
+class UpdateIngest:
+    """Applies update batches to a serving engine, concurrently with queries.
+
+    Thread-safe: any number of ingest clients may apply batches while query
+    clients are being served.  ``wait=True`` (default) blocks until the
+    batch is applied; with ``wait=False`` the batch may stay pending up to
+    the engine's ``freshness`` bound — call :meth:`flush` to force full
+    application.
+    """
+
+    def __init__(self, engine: "InferenceEngine") -> None:
+        self._engine = engine
+
+    def apply(
+        self,
+        add: tuple[np.ndarray, np.ndarray] | Sequence[tuple[int, int]] | None = None,
+        delete: tuple[np.ndarray, np.ndarray] | Sequence[tuple[int, int]] | None = None,
+        *,
+        wait: bool = True,
+        timeout: float = 30.0,
+    ) -> int:
+        """Apply edge additions/deletions; returns the ingest sequence number."""
+        a_src, a_dst = _as_pairs(add)
+        d_src, d_dst = _as_pairs(delete)
+        return self.apply_update(
+            EdgeUpdate(a_src, a_dst, d_src, d_dst), wait=wait, timeout=timeout
+        )
+
+    def apply_update(
+        self, update: EdgeUpdate, *, wait: bool = True, timeout: float = 30.0
+    ) -> int:
+        """Apply a prepared :class:`EdgeUpdate`; returns its sequence number."""
+        return self._engine.enqueue_update(update, wait=wait, timeout=timeout)
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until every ingested batch has been applied."""
+        self._engine.flush(timeout=timeout)
+
+    @property
+    def pending(self) -> int:
+        """Batches ingested but not yet applied."""
+        return self._engine.pending_updates
+
+    @property
+    def latest_version(self) -> int:
+        """Snapshot version after the last applied batch."""
+        return self._engine.latest_version
+
+
+def random_update_batches(
+    dtdg: DTDG,
+    n_batches: int,
+    num_adds: int = 8,
+    num_deletes: int = 4,
+    seed: int = 0,
+) -> list[EdgeUpdate]:
+    """Reproducible synthetic update batches against ``dtdg``'s last snapshot.
+
+    Each batch deletes ``num_deletes`` existing edges and adds ``num_adds``
+    fresh ones (no self-loops), evolving a simulated edge set forward so
+    consecutive batches stay consistent — the same stream the harness and
+    the serving benchmarks replay.  The DTDG itself is not modified.
+    """
+    rng = np.random.default_rng(seed)
+    n = dtdg.num_nodes
+    src, dst = dtdg.snapshot_edges(dtdg.num_timestamps - 1)
+    keys = set(encode_edges(src, dst, n).tolist())
+    batches: list[EdgeUpdate] = []
+    for _ in range(n_batches):
+        existing = np.fromiter(keys, dtype=np.int64) if keys else np.empty(0, np.int64)
+        k_del = min(num_deletes, len(existing))
+        deletes = (
+            rng.choice(existing, size=k_del, replace=False)
+            if k_del
+            else np.empty(0, np.int64)
+        )
+        adds: set[int] = set()
+        guard = 0
+        while len(adds) < num_adds and guard < 50 * max(1, num_adds):
+            guard += 1
+            s = int(rng.integers(0, n))
+            d = int(rng.integers(0, n))
+            if s == d:
+                continue
+            key = s * n + d
+            if key in keys or key in adds:
+                continue
+            adds.add(key)
+        add_arr = np.array(sorted(adds), dtype=np.int64)
+        a_src, a_dst = decode_edges(add_arr, n)
+        d_src, d_dst = decode_edges(np.sort(deletes), n)
+        batches.append(EdgeUpdate(a_src, a_dst, d_src, d_dst))
+        keys -= set(deletes.tolist())
+        keys |= set(add_arr.tolist())
+    return batches

@@ -37,6 +37,12 @@ _BASE = {
     "compiled_ablation": [
         {"engine": "compiled", "epoch_s": 0.80, "compile_s": 0.20, "backend": "numba"},
     ],
+    "serving_ablation": [
+        {"mode": "batched+inval", "p50_ms": 0.25, "p99_ms": 2.5, "qps": 4000,
+         "forwards": 7, "row_cache_hits": 300, "updates": 6},
+        {"mode": "unbatched", "p50_ms": 1.50, "p99_ms": 9.0, "qps": 600,
+         "forwards": 384, "row_cache_hits": 0, "updates": 6},
+    ],
 }
 
 
@@ -67,6 +73,8 @@ def test_extract_metrics_covers_all_timing_sections():
     assert metrics["micro.gpma_advance_s"] == 0.010
     assert metrics["pipeline_ablation[pipeline=off].prefetch_wait_s"] == 0.30
     assert metrics["compiled_ablation[engine=compiled].compile_s"] == 0.20
+    assert metrics["serving_ablation[mode=batched+inval].p50_ms"] == 0.25
+    assert metrics["serving_ablation[mode=unbatched].p99_ms"] == 9.0
     # Counters/losses are excluded; only numbers survive.
     assert "rows[T=10,dataset=wikitalk,system=stgraph].loss" not in metrics
     assert all(isinstance(v, float) for v in metrics.values())
